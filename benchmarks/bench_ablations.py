@@ -1,0 +1,78 @@
+"""DESIGN.md ablations A-D: window size, array size, memory, grouping.
+
+Each bench regenerates one ablation sweep and prints its rows, so the
+bench harness is a one-stop regeneration of everything in EXPERIMENTS.md
+beyond the paper's own tables.
+"""
+
+import pytest
+
+from repro.analysis import (
+    ablation_array_size,
+    ablation_grouping_strategy,
+    ablation_memory_pressure,
+    ablation_window_size,
+)
+
+
+def _print_rows(title, rows):
+    print()
+    print(title)
+    for row in rows:
+        print("  " + "  ".join(f"{k}={v:.0f}" if isinstance(v, float) else f"{k}={v}" for k, v in row.items()))
+
+
+def bench_ablation_window_size(benchmark):
+    """Ablation A: scheduling quality vs window granularity (LU 16x16)."""
+    rows = benchmark.pedantic(
+        ablation_window_size,
+        kwargs={"bench": 1, "n": 16, "steps_per_window": (1, 2, 4, 8, 16, 30)},
+        rounds=1,
+        iterations=1,
+    )
+    _print_rows("Ablation A: window size (benchmark 1, 16x16)", rows)
+    gomcds_costs = [r["GOMCDS"] for r in rows]
+    # finer windows monotonically help the optimal scheduler
+    assert gomcds_costs == sorted(gomcds_costs)
+
+
+def bench_ablation_array_size(benchmark):
+    """Ablation B: improvement over S.F. as the array scales."""
+    rows = benchmark.pedantic(
+        ablation_array_size,
+        kwargs={"bench": 1, "n": 16},
+        rounds=1,
+        iterations=1,
+    )
+    _print_rows("Ablation B: array size (benchmark 1, 16x16)", rows)
+    assert all(r["GOMCDS"] <= r["sf"] for r in rows)
+
+
+def bench_ablation_memory_pressure(benchmark):
+    """Ablation C: how tight memories erode the schedulers' advantage."""
+    rows = benchmark.pedantic(
+        ablation_memory_pressure,
+        kwargs={"bench": 5, "n": 16},
+        rounds=1,
+        iterations=1,
+    )
+    _print_rows("Ablation C: memory pressure (benchmark 5, 16x16)", rows)
+    # at 1x the minimum every slot is forced; at 4x GOMCDS must be at
+    # least as good
+    assert rows[-1]["GOMCDS"] <= rows[0]["GOMCDS"]
+
+
+@pytest.mark.parametrize("bench_id", [1, 5])
+def bench_ablation_grouping(benchmark, bench_id):
+    """Ablation D: greedy Algorithm 3 vs DP-optimal grouping vs GOMCDS."""
+    out = benchmark.pedantic(
+        ablation_grouping_strategy,
+        kwargs={"bench": bench_id, "n": 16},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(f"Ablation D: grouping strategies (benchmark {bench_id}, 16x16)")
+    for key, value in out.items():
+        print(f"  {key}: {value}")
+    assert out["GOMCDS bound"] <= out["optimal grouping"] <= out["greedy grouping"]

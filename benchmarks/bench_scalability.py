@@ -1,0 +1,54 @@
+"""Scheduler runtime scaling: data size, array size, window count.
+
+Pure performance benches (no table regeneration): how each algorithm's
+wall time grows along the three problem axes.  GOMCDS is O(D·W·m²) —
+vectorized across data when unconstrained — so the array-size axis is
+its steepest; SCDS is one matmul + argmin and should stay near-flat.
+"""
+
+import pytest
+
+from repro.core import CostModel, gomcds, grouped_schedule, lomcds, scds
+from repro.grid import Mesh2D
+from repro.trace import build_reference_tensor, windows_by_step_count
+from repro.workloads import benchmark as make_benchmark
+
+
+def _instance(n=16, mesh=(4, 4), bench=5, spw=None):
+    topo = Mesh2D(*mesh)
+    wl = make_benchmark(bench, n, topo)
+    windows = (
+        wl.windows
+        if spw is None
+        else windows_by_step_count(wl.trace, spw)
+    )
+    tensor = build_reference_tensor(wl.trace, windows)
+    return tensor, CostModel(topo)
+
+
+@pytest.mark.parametrize("n", [8, 16, 32])
+@pytest.mark.parametrize("name,fn", [("SCDS", scds), ("LOMCDS", lomcds), ("GOMCDS", gomcds)])
+def bench_scaling_data_size(benchmark, name, fn, n):
+    """Runtime vs datum count (n^2 data) on benchmark 5, unconstrained."""
+    tensor, model = _instance(n=n)
+    benchmark(fn, tensor, model)
+
+
+@pytest.mark.parametrize("mesh", [(2, 2), (4, 4), (8, 8)])
+def bench_scaling_array_size(benchmark, mesh):
+    """GOMCDS runtime vs processor count (m^2 DP transitions)."""
+    tensor, model = _instance(n=16, mesh=mesh)
+    benchmark(gomcds, tensor, model)
+
+
+@pytest.mark.parametrize("spw", [1, 4, 16])
+def bench_scaling_window_count(benchmark, spw):
+    """GOMCDS runtime vs window count (DP depth)."""
+    tensor, model = _instance(n=16, spw=spw)
+    benchmark(gomcds, tensor, model)
+
+
+def bench_grouping_scaling(benchmark):
+    """Algorithm 3 on the finest windows (worst case for the greedy loop)."""
+    tensor, model = _instance(n=16, spw=1)
+    benchmark(grouped_schedule, tensor, model)

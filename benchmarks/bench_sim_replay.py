@@ -1,0 +1,60 @@
+"""Replay-simulator benches: cross-check + congestion extension.
+
+The paper's metric is analytic hop x volume; these benches replay the
+Table 1 schedules hop-by-hop on the machine model, assert exact agreement
+with the analytic evaluator, and report the per-link congestion figures
+the paper's metric abstracts away.
+"""
+
+import pytest
+
+from repro.core import evaluate_schedule, gomcds
+from repro.distrib import baseline_schedule
+from repro.sim import replay_schedule
+
+
+@pytest.mark.parametrize("bench_id", [1, 3, 5])
+def bench_replay_agreement(benchmark, instances, bench_id):
+    """Time a full hop-level replay of the GOMCDS schedule (16x16)."""
+    inst = instances(bench_id, 16)
+    schedule = gomcds(inst.tensor, inst.model, inst.capacity)
+    analytic = evaluate_schedule(schedule, inst.tensor, inst.model)
+
+    def run():
+        return replay_schedule(
+            inst.workload.trace, schedule, inst.model, capacity=inst.capacity
+        )
+
+    report = benchmark(run)
+    assert report.matches(analytic)
+
+
+def bench_replay_with_link_tracking(benchmark, instances):
+    """Link-tracked replay (slower) + congestion comparison vs S.F."""
+    inst = instances(5, 16)
+    schedule = gomcds(inst.tensor, inst.model, inst.capacity)
+
+    def run():
+        return replay_schedule(
+            inst.workload.trace, schedule, inst.model, track_links=True
+        )
+
+    report = benchmark(run)
+    sf = replay_schedule(
+        inst.workload.trace,
+        baseline_schedule(inst.workload, "row_wise"),
+        inst.model,
+        track_links=True,
+    )
+    print()
+    print("Congestion extension (benchmark 5, 16x16):")
+    print(
+        f"  S.F.  : total traffic {sf.total_link_traffic:.0f}, "
+        f"max link load {sf.max_link_load:.0f}"
+    )
+    print(
+        f"  GOMCDS: total traffic {report.total_link_traffic:.0f}, "
+        f"max link load {report.max_link_load:.0f}"
+    )
+    # optimizing total hops also relieves the hottest link here
+    assert report.max_link_load <= sf.max_link_load

@@ -1,0 +1,110 @@
+"""Bring your own kernel: schedule a custom trace on a custom machine.
+
+Shows the full extensibility surface of the public API:
+
+* record an application's references with :class:`TraceBuilder` (here, a
+  red-black Gauss-Seidel sweep followed by a residual reduction);
+* segment it into execution windows;
+* schedule on a *torus* instead of a mesh, with non-unit data volumes;
+* compare against a block baseline and replay with per-link statistics.
+
+Run:  python examples/custom_workload.py
+"""
+
+import numpy as np
+
+from repro import (
+    CapacityPlan,
+    CostModel,
+    Torus2D,
+    TraceBuilder,
+    build_reference_tensor,
+    evaluate_schedule,
+    gomcds,
+    replay_schedule,
+    scds,
+    windows_by_step_count,
+)
+from repro.core import Schedule
+from repro.workloads import block_owners, matrix_data_ids
+
+
+def build_gauss_seidel_trace(n: int, topo, sweeps: int = 4):
+    """Red-black Gauss-Seidel: each sweep is two parallel steps."""
+    owners = block_owners(n, n, topo)
+    ids = matrix_data_ids(n, n)
+    builder = TraceBuilder(n_procs=topo.n_procs, n_data=n * n)
+    for sweep in range(sweeps):
+        for color in (0, 1):
+            for i in range(n):
+                for j in range(n):
+                    if (i + j) % 2 != color:
+                        continue
+                    proc = int(owners[i, j])
+                    builder.add(proc, int(ids[i, j]))
+                    # 4-point stencil neighbours (wrapping on the torus)
+                    for di, dj in ((1, 0), (-1, 0), (0, 1), (0, -1)):
+                        builder.add(proc, int(ids[(i + di) % n, (j + dj) % n]))
+            builder.end_step()
+        # residual reduction: processor (sweep mod rows, 0) gathers a row
+        gather_proc = topo.pid(sweep % topo.shape[0], 0)
+        for j in range(n):
+            builder.add(gather_proc, int(ids[sweep % n, j]), 2)
+        builder.end_step()
+    return builder.build()
+
+
+def main() -> None:
+    topo = Torus2D(4, 4)  # wrap-around links shorten the stencil halo
+    n = 12
+    trace = build_gauss_seidel_trace(n, topo)
+    windows = windows_by_step_count(trace, 3)  # one window per sweep
+    tensor = build_reference_tensor(trace, windows)
+
+    # boundary rows are big (ghost layers): give them volume 2
+    volumes = np.ones(n * n)
+    volumes[: n] = 2.0
+    volumes[-n:] = 2.0
+    model = CostModel(topo, volumes=volumes)
+    capacity = CapacityPlan.paper_rule(n * n, topo.n_procs, multiplier=2.0)
+
+    print(f"custom Gauss-Seidel trace: {trace.total_references} references, "
+          f"{windows.n_windows} windows on {topo}")
+
+    # --- baselines vs the paper's schedulers ------------------------------
+    # row-wise strips pay halo traffic on every sweep; the 2-D block layout
+    # is the hand-tuned answer — SCDS should rediscover something like it.
+    from repro.workloads import row_wise_owners
+
+    results = {
+        "row-wise": Schedule.static(
+            row_wise_owners(n, n, topo).reshape(-1), windows, method="row"
+        ),
+        "block": Schedule.static(
+            block_owners(n, n, topo).reshape(-1), windows, method="block"
+        ),
+        "SCDS": scds(tensor, model, capacity),
+        "GOMCDS": gomcds(tensor, model, capacity),
+    }
+    base_cost = None
+    print(f"\n{'method':<16}{'total':>9}{'saving':>9}")
+    for name, schedule in results.items():
+        cost = evaluate_schedule(schedule, tensor, model).total
+        if base_cost is None:
+            base_cost = cost
+        print(f"{name:<16}{cost:>9.0f}{100 * (base_cost - cost) / base_cost:>8.1f}%")
+
+    # --- replay with link statistics -------------------------------------
+    report = replay_schedule(
+        trace, results["GOMCDS"], model, capacity=capacity, track_links=True
+    )
+    hottest = max(report.link_traffic, key=report.link_traffic.get)
+    print(
+        f"\nreplay: {report.n_fetches} fetches, max link load "
+        f"{report.max_link_load:.0f} on link "
+        f"{topo.coords(hottest[0])} -> {topo.coords(hottest[1])}"
+    )
+
+
+if __name__ == "__main__":
+    main()

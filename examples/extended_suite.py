@@ -1,0 +1,74 @@
+"""Tour of the extensions: extra kernels, heatmaps, makespan, segmentation.
+
+Runs the extended kernel suite (FFT / SOR / Floyd-Warshall / bitonic),
+renders per-processor demand and memory-occupancy heatmaps for one
+kernel, compares the paper's hop x volume objective against the
+makespan estimate, and shows automatic window segmentation on the FFT's
+stage structure.
+
+Run:  python examples/extended_suite.py
+"""
+
+import numpy as np
+
+from repro.analysis import render_heatmap, render_numeric_grid, render_table, run_extended_table
+from repro.core import CostModel, gomcds, scds, evaluate_schedule
+from repro.grid import Mesh2D
+from repro.mem import CapacityPlan
+from repro.sim import estimate_execution_time
+from repro.trace import build_reference_tensor, per_processor_demand, segment_by_similarity
+from repro.workloads import fft_workload, floyd_workload
+
+
+def main() -> None:
+    topo = Mesh2D(4, 4)
+    model = CostModel(topo)
+
+    # --- 1. the extended table -------------------------------------------
+    print(render_table(run_extended_table()))
+
+    # --- 2. heatmaps: where Floyd-Warshall's demand and data live --------
+    wl = floyd_workload(16, topo)
+    tensor = wl.reference_tensor()
+    capacity = CapacityPlan.paper_rule(wl.n_data, topo.n_procs)
+    schedule = gomcds(tensor, model, capacity)
+    demand = per_processor_demand(wl.trace, wl.windows).sum(axis=0)
+    print()
+    print(render_heatmap(demand.astype(float), topo, title="floyd: total demand per processor"))
+    occupancy = schedule.occupancy(topo.n_procs)[0]
+    print()
+    print(render_numeric_grid(occupancy, topo, title="floyd: GOMCDS initial residency (items)"))
+
+    # --- 3. hop x volume vs makespan --------------------------------------
+    print()
+    print("floyd 16x16: objective vs estimated makespan")
+    for name, sched in (
+        ("SCDS", scds(tensor, model, capacity)),
+        ("GOMCDS", schedule),
+    ):
+        cost = evaluate_schedule(sched, tensor, model).total
+        timing = estimate_execution_time(wl.trace, sched, model)
+        print(
+            f"  {name:<8} hop-volume {cost:>7.0f}   makespan {timing.total:>7.0f}"
+            f"   (comm fraction {timing.comm_fraction:.2f})"
+        )
+
+    # --- 4. automatic segmentation of the FFT stage structure ------------
+    fft = fft_workload(256, topo)
+    auto = segment_by_similarity(fft.trace, threshold=0.7)
+    print()
+    print(
+        f"fft 256: natural stages {fft.windows.n_windows}, "
+        f"similarity segmentation found {auto.n_windows} windows "
+        f"(boundaries {auto.starts.tolist()})"
+    )
+    auto_tensor = build_reference_tensor(fft.trace, auto)
+    natural_cost = evaluate_schedule(
+        gomcds(fft.reference_tensor(), model), fft.reference_tensor(), model
+    ).total
+    auto_cost = evaluate_schedule(gomcds(auto_tensor, model), auto_tensor, model).total
+    print(f"  GOMCDS cost: natural windows {natural_cost:.0f}, auto windows {auto_cost:.0f}")
+
+
+if __name__ == "__main__":
+    main()

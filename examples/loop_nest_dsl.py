@@ -1,0 +1,74 @@
+"""Express a kernel with the loop-nest DSL and schedule it.
+
+The paper's point of departure is that prior redistribution work only
+handles *linear, uniform* reference patterns; its algorithms consume raw
+reference strings and so handle anything.  This example builds a
+deliberately nasty kernel — a triangular loop with a modular, quadratic
+reference function — using :class:`repro.workloads.LoopNest`, then shows
+the schedulers handling it like any other workload.
+
+Run:  python examples/loop_nest_dsl.py
+"""
+
+from repro import CapacityPlan, CostModel, Mesh2D, evaluate_schedule, gomcds, lomcds, scds
+from repro.distrib import baseline_schedule
+from repro.workloads import Loop, LoopNest, matrix_data_ids, row_wise_owners
+
+
+def build_nest(n: int, topo) -> LoopNest:
+    owners = row_wise_owners(n, n, topo)
+    ids = matrix_data_ids(n, n)
+    return LoopNest(
+        name="quadratic-gather",
+        loops=[
+            Loop("t", 0, n),                                # sequential phase
+            Loop("i", 0, n, parallel=True),                 # row fan-out
+            Loop("j", lambda ix: ix["i"], n, parallel=True),  # triangular
+        ],
+        owner=lambda ix: owners[ix["i"], ix["j"]],
+        refs=[
+            # a non-linear, time-varying gather: neither a uniform
+            # dependence distance nor a linear index combination
+            lambda ix: ids[(ix["i"] ** 2 + 3 * ix["t"]) % n, ix["j"]],
+            # a guarded diagonal access, present only on even phases
+            lambda ix: (
+                ids[ix["j"], (ix["j"] + ix["t"]) % n]
+                if ix["t"] % 2 == 0
+                else None
+            ),
+        ],
+        window_loop="t",
+        data_shape=(n, n),
+    )
+
+
+def main() -> None:
+    n = 12
+    topo = Mesh2D(4, 4)
+    nest = build_nest(n, topo)
+    workload = nest.generate(topo, n * n)
+    print(
+        f"loop-nest kernel '{workload.name}': "
+        f"{workload.trace.total_references} references over "
+        f"{workload.windows.n_windows} windows"
+    )
+
+    tensor = workload.reference_tensor()
+    model = CostModel(topo)
+    capacity = CapacityPlan.paper_rule(workload.n_data, topo.n_procs)
+    schedules = {
+        "S.F. row-wise": baseline_schedule(workload, "row_wise"),
+        "SCDS": scds(tensor, model, capacity),
+        "LOMCDS": lomcds(tensor, model, capacity),
+        "GOMCDS": gomcds(tensor, model, capacity),
+    }
+    base = None
+    print(f"\n{'method':<16}{'total':>8}{'saving':>9}")
+    for name, schedule in schedules.items():
+        cost = evaluate_schedule(schedule, tensor, model).total
+        base = cost if base is None else base
+        print(f"{name:<16}{cost:>8.0f}{100 * (base - cost) / base:>8.1f}%")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+"""Reproduce the paper's full evaluation in one run.
+
+Regenerates the §3.3 worked example, Table 1 and Table 2 at the paper's
+configuration (4x4 array, sizes 8/16/32, memory = 2x minimum), prints
+them in the paper's layout, and summarizes how the measured shape
+compares with the published claims.
+
+Run:  python examples/reproduce_paper.py          (~15 s)
+      python examples/reproduce_paper.py --fast   (sizes 8/16 only)
+"""
+
+import sys
+
+from repro.analysis import render_table, run_figure1, run_table1, run_table2
+
+
+def main() -> None:
+    sizes = (8, 16) if "--fast" in sys.argv else (8, 16, 32)
+
+    print("=" * 72)
+    print("Worked example (Figure 1 / section 3.3, reconstructed counts)")
+    print("=" * 72)
+    fig = run_figure1()
+    print(f"SCDS   center {fig.scds_center}, cost {fig.scds_cost:.0f}")
+    print(f"LOMCDS centers {fig.lomcds_centers}, cost {fig.lomcds_cost:.0f}")
+    print(f"GOMCDS centers {fig.gomcds_centers}, cost {fig.gomcds_cost:.0f}")
+
+    print()
+    print("=" * 72)
+    table1 = run_table1(sizes=sizes)
+    print(render_table(table1))
+    print()
+    print("=" * 72)
+    table2 = run_table2(sizes=sizes)
+    print(render_table(table2))
+
+    print()
+    print("=" * 72)
+    print("Paper-claim checklist")
+    print("=" * 72)
+    checks = [
+        (
+            "GOMCDS best on average (Table 1)",
+            table1.best_scheduler() == "GOMCDS",
+        ),
+        (
+            "LOMCDS outperforms SCDS on average (Table 1)",
+            table1.average_improvement("LOMCDS")
+            > table1.average_improvement("SCDS"),
+        ),
+        (
+            "all schemes significantly beat the straight-forward layout",
+            all(table1.average_improvement(s) > 5 for s in table1.scheduler_names),
+        ),
+        (
+            "grouping further improves LOMCDS (Table 2 vs Table 1)",
+            table2.average_improvement("LOMCDS")
+            >= table1.average_improvement("LOMCDS"),
+        ),
+        (
+            "example ordering GOMCDS < LOMCDS < SCDS",
+            fig.gomcds_cost < fig.lomcds_cost < fig.scds_cost,
+        ),
+    ]
+    for label, ok in checks:
+        print(f"  [{'ok' if ok else 'FAIL'}] {label}")
+    if not all(ok for _label, ok in checks):
+        raise SystemExit(1)
+
+
+if __name__ == "__main__":
+    main()

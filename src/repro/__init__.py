@@ -1,0 +1,100 @@
+"""repro — reproduction of *Optimizing Data Scheduling on
+Processor-In-Memory Arrays* (Tian, Sha, Chantrapornchai, Kogge; IPPS 1998).
+
+The package implements the paper's three data-scheduling algorithms —
+SCDS, LOMCDS and GOMCDS — plus the execution-window grouping of its
+Algorithm 3, on top of a complete PIM-array substrate: mesh topologies
+with x-y routing, access-event traces and execution windows, bounded
+per-processor memories, the paper's five benchmark workloads, a hop-level
+replay simulator, and the full evaluation harness for its tables and
+figure.
+
+Quickstart::
+
+    from repro import (
+        Mesh2D, CostModel, CapacityPlan,
+        lu_workload, baseline_schedule, gomcds, evaluate_schedule,
+    )
+
+    topo = Mesh2D(4, 4)
+    workload = lu_workload(16, topo)
+    tensor = workload.reference_tensor()
+    model = CostModel(topo)
+    cap = CapacityPlan.paper_rule(workload.n_data, topo.n_procs)
+
+    schedule = gomcds(tensor, model, capacity=cap)
+    print(evaluate_schedule(schedule, tensor, model).total)
+"""
+
+from .core import (
+    CostBreakdown,
+    CostModel,
+    Schedule,
+    evaluate_schedule,
+    get_scheduler,
+    gomcds,
+    grouped_schedule,
+    lomcds,
+    scds,
+)
+from .distrib import baseline_schedule
+from .grid import Mesh1D, Mesh2D, Torus2D, XYRouter
+from .mem import CapacityError, CapacityPlan
+from .sim import PIMArray, SimReport, replay_schedule
+from .trace import (
+    ReferenceTensor,
+    Trace,
+    TraceBuilder,
+    WindowSet,
+    build_reference_tensor,
+    windows_by_step_count,
+)
+from .workloads import (
+    WorkloadInstance,
+    benchmark,
+    code_workload,
+    lu_workload,
+    matmul_workload,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # machine
+    "Mesh1D",
+    "Mesh2D",
+    "Torus2D",
+    "XYRouter",
+    # traces
+    "Trace",
+    "TraceBuilder",
+    "WindowSet",
+    "windows_by_step_count",
+    "ReferenceTensor",
+    "build_reference_tensor",
+    # memory
+    "CapacityPlan",
+    "CapacityError",
+    # core algorithms
+    "CostModel",
+    "Schedule",
+    "CostBreakdown",
+    "scds",
+    "lomcds",
+    "gomcds",
+    "grouped_schedule",
+    "evaluate_schedule",
+    "get_scheduler",
+    # workloads & baselines
+    "WorkloadInstance",
+    "lu_workload",
+    "matmul_workload",
+    "code_workload",
+    "benchmark",
+    "baseline_schedule",
+    # simulator
+    "PIMArray",
+    "replay_schedule",
+    "SimReport",
+]

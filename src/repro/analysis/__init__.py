@@ -1,0 +1,65 @@
+"""Evaluation harness: the paper's tables, figure and ablations."""
+
+from .experiments import (
+    DEFAULT_BENCHMARKS,
+    DEFAULT_SIZES,
+    ablation_array_size,
+    ablation_grouping_strategy,
+    ablation_memory_pressure,
+    ablation_movement_budget,
+    ablation_online_lookahead,
+    ablation_partition_schemes,
+    ablation_refinement,
+    ablation_static_optimality,
+    ablation_window_segmentation,
+    ablation_replication,
+    ablation_window_size,
+    figure1_instance,
+    run_extended_table,
+    run_figure1,
+    seed_sensitivity,
+    run_table1,
+    run_table2,
+)
+from .export import rows_to_csv, table_to_csv
+from .heatmap import render_heatmap, render_numeric_grid
+from .report import render_markdown_table, render_table
+from .summary import generate_report, write_report
+from .tables import SchedulerResult, Table, TableRow, percent_improvement
+from .trajectory import render_trajectory, trajectory_summary
+
+__all__ = [
+    "DEFAULT_SIZES",
+    "DEFAULT_BENCHMARKS",
+    "figure1_instance",
+    "run_figure1",
+    "run_table1",
+    "run_table2",
+    "run_extended_table",
+    "seed_sensitivity",
+    "ablation_window_size",
+    "ablation_array_size",
+    "ablation_memory_pressure",
+    "ablation_grouping_strategy",
+    "ablation_partition_schemes",
+    "ablation_online_lookahead",
+    "ablation_replication",
+    "ablation_refinement",
+    "ablation_window_segmentation",
+    "ablation_static_optimality",
+    "ablation_movement_budget",
+    "render_heatmap",
+    "render_numeric_grid",
+    "render_table",
+    "render_markdown_table",
+    "Table",
+    "TableRow",
+    "SchedulerResult",
+    "percent_improvement",
+    "generate_report",
+    "write_report",
+    "table_to_csv",
+    "rows_to_csv",
+    "render_trajectory",
+    "trajectory_summary",
+]

@@ -1,0 +1,47 @@
+"""CSV export of evaluation results (for external plotting/analysis)."""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+
+from .tables import Table
+
+__all__ = ["table_to_csv", "rows_to_csv"]
+
+
+def table_to_csv(table: Table, path) -> Path:
+    """Write an evaluation :class:`Table` as a flat CSV file.
+
+    Columns: benchmark, name, size, sf_cost, then per scheduler
+    ``<name>_cost`` / ``<name>_pct`` / ``<name>_moves``.
+    """
+    path = Path(path)
+    header = ["benchmark", "name", "size", "sf_cost"]
+    for name in table.scheduler_names:
+        header += [f"{name}_cost", f"{name}_pct", f"{name}_moves"]
+    with path.open("w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(header)
+        for row in table.rows:
+            cells = [row.benchmark, row.benchmark_name, row.size, row.sf_cost]
+            for name in table.scheduler_names:
+                res = row.result_for(name)
+                cells += [res.cost, res.improvement, res.n_movements]
+            writer.writerow(cells)
+    return path
+
+
+def rows_to_csv(rows: list[dict], path) -> Path:
+    """Write a list of homogeneous dicts (an ablation sweep) as CSV."""
+    path = Path(path)
+    if not rows:
+        path.write_text("")
+        return path
+    keys = list(rows[0].keys())
+    with path.open("w", newline="") as fh:
+        writer = csv.DictWriter(fh, fieldnames=keys)
+        writer.writeheader()
+        for row in rows:
+            writer.writerow(row)
+    return path

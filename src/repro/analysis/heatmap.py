@@ -1,0 +1,71 @@
+"""ASCII heatmaps of per-processor quantities on the mesh.
+
+Terminal-friendly rendering for examples and reports: memory occupancy,
+reference demand, link congestion endpoints — anything shaped like one
+value per processor.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..grid import Topology
+
+__all__ = ["render_heatmap", "render_numeric_grid"]
+
+_SHADES = " ▁▂▃▄▅▆▇█"
+
+
+def render_heatmap(values, topology: Topology, title: str | None = None) -> str:
+    """Render one value per processor as a shaded character grid.
+
+    Values are scaled to the 0..max range of the input; a 1-D topology
+    renders as a single row.
+    """
+    values = np.asarray(values, dtype=np.float64)
+    if values.shape != (topology.n_procs,):
+        raise ValueError(
+            f"need one value per processor ({topology.n_procs}), got {values.shape}"
+        )
+    if len(topology.shape) == 1:
+        grid = values[None, :]
+    elif len(topology.shape) == 2:
+        grid = values.reshape(topology.shape)
+    else:
+        raise ValueError("heatmaps support 1-D and 2-D topologies")
+    peak = grid.max()
+    lines = [] if title is None else [title]
+    for row in grid:
+        if peak <= 0:
+            shades = _SHADES[0] * len(row)
+        else:
+            idx = np.minimum(
+                (row / peak * (len(_SHADES) - 1)).astype(int), len(_SHADES) - 1
+            )
+            shades = "".join(_SHADES[i] for i in idx)
+        lines.append("|" + shades + "|")
+    return "\n".join(lines)
+
+
+def render_numeric_grid(
+    values, topology: Topology, title: str | None = None, width: int = 6
+) -> str:
+    """Render one value per processor as aligned numbers in grid layout."""
+    values = np.asarray(values)
+    if values.shape != (topology.n_procs,):
+        raise ValueError(
+            f"need one value per processor ({topology.n_procs}), got {values.shape}"
+        )
+    grid = (
+        values[None, :]
+        if len(topology.shape) == 1
+        else values.reshape(topology.shape)
+    )
+    lines = [] if title is None else [title]
+    for row in grid:
+        cells = []
+        for v in row:
+            text = f"{v:.0f}" if isinstance(v, (float, np.floating)) else str(v)
+            cells.append(f"{text:>{width}}")
+        lines.append("".join(cells))
+    return "\n".join(lines)

@@ -1,0 +1,64 @@
+"""Fixed-width text rendering of evaluation tables (the paper's layout)."""
+
+from __future__ import annotations
+
+from .tables import Table
+
+__all__ = ["render_table", "render_markdown_table"]
+
+
+def render_table(table: Table) -> str:
+    """Render a :class:`Table` in the paper's column layout.
+
+    ::
+
+        B.  Size    S.F.      SCDS            LOMCDS          GOMCDS
+                              Comm.      %    Comm.      %    Comm.      %
+        1   8x8     1234      1000    19.0    ...
+    """
+    name_width = 12
+    lines = [table.title]
+    header1 = f"{'B.':<4}{'Size':<8}{'S.F.':>10}  "
+    header2 = f"{'':<4}{'':<8}{'':>10}  "
+    for name in table.scheduler_names:
+        header1 += f"{name:^{name_width + 8}}"
+        header2 += f"{'Comm.':>{name_width}}{'%':>8}"
+    lines.append(header1.rstrip())
+    lines.append(header2.rstrip())
+    lines.append("-" * len(header2))
+    for row in table.rows:
+        line = f"{row.benchmark:<4}{row.size:<8}{row.sf_cost:>10.0f}  "
+        for name in table.scheduler_names:
+            res = row.result_for(name)
+            line += f"{res.cost:>{name_width}.0f}{res.improvement:>8.1f}"
+        lines.append(line)
+    lines.append("-" * len(header2))
+    avg = f"{'avg':<4}{'':<8}{'':>10}  "
+    for name in table.scheduler_names:
+        avg += f"{'':>{name_width}}{table.average_improvement(name):>8.1f}"
+    lines.append(avg)
+    return "\n".join(lines)
+
+
+def render_markdown_table(table: Table) -> str:
+    """The same table as GitHub-flavoured markdown (for EXPERIMENTS.md)."""
+    header = ["B.", "Size", "S.F."]
+    for name in table.scheduler_names:
+        header += [f"{name} Comm.", f"{name} %"]
+    lines = [
+        f"**{table.title}**",
+        "",
+        "| " + " | ".join(header) + " |",
+        "|" + "---|" * len(header),
+    ]
+    for row in table.rows:
+        cells = [str(row.benchmark), row.size, f"{row.sf_cost:.0f}"]
+        for name in table.scheduler_names:
+            res = row.result_for(name)
+            cells += [f"{res.cost:.0f}", f"{res.improvement:.1f}"]
+        lines.append("| " + " | ".join(cells) + " |")
+    avg_cells = ["avg", "", ""]
+    for name in table.scheduler_names:
+        avg_cells += ["", f"{table.average_improvement(name):.1f}"]
+    lines.append("| " + " | ".join(avg_cells) + " |")
+    return "\n".join(lines)

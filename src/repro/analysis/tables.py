@@ -1,0 +1,71 @@
+"""Table-row assembly for the paper's evaluation tables.
+
+A row of Table 1/2 is: benchmark id, data size, the straight-forward
+(S.F.) cost, and for each scheduler its total communication cost and the
+percentage improvement over S.F. — ``100 * (S.F. - cost) / S.F.``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["SchedulerResult", "TableRow", "Table", "percent_improvement"]
+
+
+def percent_improvement(baseline: float, cost: float) -> float:
+    """The paper's "%" column: relative saving over the S.F. baseline."""
+    if baseline <= 0:
+        return 0.0
+    return 100.0 * (baseline - cost) / baseline
+
+
+@dataclass(frozen=True)
+class SchedulerResult:
+    """One scheduler's outcome on one benchmark instance."""
+
+    name: str
+    cost: float
+    improvement: float
+    reference_cost: float = 0.0
+    movement_cost: float = 0.0
+    n_movements: int = 0
+
+
+@dataclass(frozen=True)
+class TableRow:
+    """One row of an evaluation table."""
+
+    benchmark: int
+    benchmark_name: str
+    size: str
+    sf_cost: float
+    results: tuple[SchedulerResult, ...]
+
+    def result_for(self, name: str) -> SchedulerResult:
+        for r in self.results:
+            if r.name == name:
+                return r
+        raise KeyError(f"no result for scheduler {name!r} in this row")
+
+
+@dataclass
+class Table:
+    """A full evaluation table plus per-scheduler averages."""
+
+    title: str
+    scheduler_names: tuple[str, ...]
+    rows: list[TableRow] = field(default_factory=list)
+
+    def add(self, row: TableRow) -> None:
+        for name in self.scheduler_names:
+            row.result_for(name)  # fail fast on mismatched columns
+        self.rows.append(row)
+
+    def average_improvement(self, name: str) -> float:
+        if not self.rows:
+            return 0.0
+        return sum(r.result_for(name).improvement for r in self.rows) / len(self.rows)
+
+    def best_scheduler(self) -> str:
+        """Scheduler with the highest average improvement."""
+        return max(self.scheduler_names, key=self.average_improvement)

@@ -1,0 +1,59 @@
+"""Schedule-trajectory rendering: where a datum lives, window by window.
+
+Terminal visualization of one datum's center track on a 2-D mesh —
+each window's center is marked with its window index (the last index
+wins when a processor hosts the datum in several windows), giving an
+at-a-glance picture of how far the schedulers let a datum roam.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.schedule import Schedule
+from ..grid import Topology
+
+__all__ = ["render_trajectory", "trajectory_summary"]
+
+_MARKS = "0123456789abcdefghijklmnopqrstuvwxyz"
+
+
+def render_trajectory(
+    schedule: Schedule, d: int, topology: Topology, title: str | None = None
+) -> str:
+    """ASCII map of datum ``d``'s centers across windows.
+
+    Cells show the (latest) window index that placed the datum there,
+    ``.`` for never-visited processors.  Windows beyond 36 wrap the mark
+    alphabet; use :func:`trajectory_summary` for exact sequences.
+    """
+    if len(topology.shape) != 2:
+        raise ValueError("trajectory rendering needs a 2-D topology")
+    if not 0 <= d < schedule.n_data:
+        raise ValueError(f"datum {d} out of range")
+    rows, cols = topology.shape
+    grid = [["." for _ in range(cols)] for _ in range(rows)]
+    for w in range(schedule.n_windows):
+        r, c = topology.coords(int(schedule.centers[d, w]))
+        grid[r][c] = _MARKS[w % len(_MARKS)]
+    lines = [] if title is None else [title]
+    lines += ["".join(row) for row in grid]
+    return "\n".join(lines)
+
+
+def trajectory_summary(schedule: Schedule, d: int, topology: Topology) -> dict:
+    """Numeric summary of a datum's movement behaviour."""
+    centers = schedule.centers[d]
+    coords = [topology.coords(int(p)) for p in centers]
+    moves = int((centers[1:] != centers[:-1]).sum())
+    from ..grid import cached_distance_matrix
+
+    dist = cached_distance_matrix(topology)
+    travel = int(dist[centers[:-1], centers[1:]].sum()) if len(centers) > 1 else 0
+    return {
+        "datum": int(d),
+        "centers": coords,
+        "distinct_homes": len(set(centers.tolist())),
+        "moves": moves,
+        "hops_traveled": travel,
+    }

@@ -1,0 +1,162 @@
+"""Command-line entry point: regenerate the paper's tables and ablations.
+
+Usage::
+
+    python -m repro table1 [--sizes 8 16 32] [--mesh 4 4] [--fast]
+    python -m repro table2
+    python -m repro figure1
+    python -m repro ablation-window | ablation-array | ablation-memory \
+        | ablation-grouping
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .analysis import (
+    ablation_array_size,
+    ablation_grouping_strategy,
+    ablation_memory_pressure,
+    ablation_movement_budget,
+    ablation_online_lookahead,
+    ablation_partition_schemes,
+    ablation_refinement,
+    ablation_static_optimality,
+    ablation_window_segmentation,
+    ablation_replication,
+    ablation_window_size,
+    render_table,
+    run_extended_table,
+    run_figure1,
+    seed_sensitivity,
+    run_table1,
+    run_table2,
+)
+
+__all__ = ["main"]
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--sizes", type=int, nargs="+", default=[8, 16, 32],
+        help="matrix sizes n (data universes n x n)",
+    )
+    parser.add_argument(
+        "--benchmarks", type=int, nargs="+", default=[1, 2, 3, 4, 5],
+        help="paper benchmark ids to run (1-5)",
+    )
+    parser.add_argument(
+        "--mesh", type=int, nargs=2, default=[4, 4], metavar=("ROWS", "COLS"),
+        help="processor array shape",
+    )
+    parser.add_argument(
+        "--capacity-multiplier", type=float, default=2.0,
+        help="per-processor memory as a multiple of the balanced minimum",
+    )
+    parser.add_argument("--seed", type=int, default=1998)
+    parser.add_argument(
+        "--fast", action="store_true",
+        help="small sizes only (8, 16) for a quick run",
+    )
+
+
+def _render_rows(rows: list[dict]) -> str:
+    if not rows:
+        return "(no rows)"
+    keys = list(rows[0].keys())
+    widths = {
+        k: max(len(str(k)), *(len(_fmt(r[k])) for r in rows)) for k in keys
+    }
+    header = "  ".join(f"{k:>{widths[k]}}" for k in keys)
+    lines = [header, "-" * len(header)]
+    for r in rows:
+        lines.append("  ".join(f"{_fmt(r[k]):>{widths[k]}}" for k in keys))
+    return "\n".join(lines)
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.1f}"
+    return str(value)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-pim",
+        description="Regenerate the evaluation of 'Optimizing Data Scheduling "
+        "on Processor-In-Memory Arrays' (IPPS 1998).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    for name in ("table1", "table2"):
+        _add_common(sub.add_parser(name, help=f"regenerate {name}"))
+    sub.add_parser("figure1", help="the section 3.3 worked example")
+    sub.add_parser("extended", help="extended kernel suite (FFT/SOR/Floyd/bitonic)")
+    sub.add_parser("ablation-window", help="window-size sweep (DESIGN.md A)")
+    sub.add_parser("ablation-array", help="array-size sweep (DESIGN.md B)")
+    sub.add_parser("ablation-memory", help="memory-pressure sweep (DESIGN.md C)")
+    sub.add_parser("ablation-grouping", help="grouping strategies (DESIGN.md D)")
+    sub.add_parser("ablation-partition", help="iteration-partition sweep (E)")
+    sub.add_parser("ablation-online", help="online vs offline scheduling (F)")
+    sub.add_parser("ablation-replication", help="k-replica placement (G)")
+    sub.add_parser("ablation-refine", help="local-search refinement (H)")
+    sub.add_parser("ablation-segmentation", help="window boundary strategies (I)")
+    sub.add_parser("ablation-static", help="greedy vs optimal static placement (J)")
+    sub.add_parser("seeds", help="seed sensitivity of the improvements")
+    sub.add_parser("ablation-budget", help="movement-budget Pareto frontier (K)")
+    args = parser.parse_args(argv)
+
+    if args.command in ("table1", "table2"):
+        sizes = tuple(args.sizes if not args.fast else [8, 16])
+        runner = run_table1 if args.command == "table1" else run_table2
+        table = runner(
+            sizes=sizes,
+            benchmarks=tuple(args.benchmarks),
+            mesh=tuple(args.mesh),
+            capacity_multiplier=args.capacity_multiplier,
+            seed=args.seed,
+        )
+        print(render_table(table))
+    elif args.command == "extended":
+        print(render_table(run_extended_table()))
+    elif args.command == "figure1":
+        result = run_figure1()
+        print("Figure 1 / section 3.3 worked example (reconstructed counts)")
+        print(f"  SCDS   center {result.scds_center}, cost {result.scds_cost:.0f}")
+        print(
+            f"  LOMCDS centers {result.lomcds_centers}, cost {result.lomcds_cost:.0f}"
+        )
+        print(
+            f"  GOMCDS centers {result.gomcds_centers}, cost {result.gomcds_cost:.0f}"
+        )
+    elif args.command == "ablation-window":
+        print(_render_rows(ablation_window_size()))
+    elif args.command == "ablation-array":
+        print(_render_rows(ablation_array_size()))
+    elif args.command == "ablation-memory":
+        print(_render_rows(ablation_memory_pressure()))
+    elif args.command == "ablation-grouping":
+        result = ablation_grouping_strategy()
+        for key, value in result.items():
+            print(f"  {key}: {_fmt(value)}")
+    elif args.command == "ablation-partition":
+        print(_render_rows(ablation_partition_schemes()))
+    elif args.command == "ablation-online":
+        print(_render_rows(ablation_online_lookahead()))
+    elif args.command == "ablation-replication":
+        print(_render_rows(ablation_replication()))
+    elif args.command == "ablation-refine":
+        print(_render_rows(ablation_refinement()))
+    elif args.command == "ablation-segmentation":
+        print(_render_rows(ablation_window_segmentation()))
+    elif args.command == "ablation-static":
+        print(_render_rows(ablation_static_optimality()))
+    elif args.command == "seeds":
+        print(_render_rows(seed_sensitivity()))
+    elif args.command == "ablation-budget":
+        print(_render_rows(ablation_movement_budget()))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,86 @@
+"""The paper's contribution: SCDS, LOMCDS, GOMCDS and window grouping.
+
+This package exposes the three data-scheduling algorithms of the paper
+(plus the grouping post-pass of its §4) behind a uniform signature::
+
+    schedule = scheduler(reference_tensor, cost_model, capacity=None)
+
+and an analytic evaluator, :func:`evaluate_schedule`, implementing the
+paper's communication-cost objective.
+"""
+
+from typing import Callable
+
+from .cost import CostModel
+from .budget import gomcds_budgeted, movement_frontier
+from .costgraph import build_cost_graph, gomcds_via_graph, solve_cost_graph
+from .evaluate import CostBreakdown, evaluate_schedule, per_datum_costs
+from .gomcds import gomcds, shortest_center_path
+from .grouping import (
+    greedy_grouping,
+    grouped_schedule,
+    optimal_grouping,
+    partition_cost,
+)
+from .lomcds import lomcds
+from .online import omcds
+from .optimal import optimal_static_placement, static_lower_bound
+from .refine import RefineResult, refine_schedule
+from .replication import (
+    ReplicatedPlacement,
+    evaluate_replicated,
+    greedy_k_median,
+    replicated_scds,
+)
+from .scds import scds
+from .schedule import Schedule
+
+__all__ = [
+    "CostModel",
+    "Schedule",
+    "CostBreakdown",
+    "evaluate_schedule",
+    "per_datum_costs",
+    "scds",
+    "lomcds",
+    "gomcds",
+    "gomcds_budgeted",
+    "movement_frontier",
+    "shortest_center_path",
+    "build_cost_graph",
+    "solve_cost_graph",
+    "gomcds_via_graph",
+    "greedy_grouping",
+    "optimal_grouping",
+    "grouped_schedule",
+    "partition_cost",
+    "omcds",
+    "optimal_static_placement",
+    "static_lower_bound",
+    "RefineResult",
+    "refine_schedule",
+    "ReplicatedPlacement",
+    "replicated_scds",
+    "evaluate_replicated",
+    "greedy_k_median",
+    "get_scheduler",
+    "SCHEDULERS",
+]
+
+#: Registry of the paper's schedulers by table-column name (plus the
+#: online extension OMCDS).
+SCHEDULERS: dict[str, Callable] = {
+    "SCDS": scds,
+    "LOMCDS": lomcds,
+    "GOMCDS": gomcds,
+    "OMCDS": omcds,
+}
+
+
+def get_scheduler(name: str) -> Callable:
+    """Look up a scheduler by its paper name (case-insensitive)."""
+    try:
+        return SCHEDULERS[name.upper()]
+    except KeyError:
+        known = ", ".join(sorted(SCHEDULERS))
+        raise KeyError(f"unknown scheduler {name!r}; known: {known}") from None

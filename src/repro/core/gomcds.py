@@ -1,0 +1,146 @@
+"""Algorithm 2: Global-Optimal Multiple-Center Data Scheduling (GOMCDS).
+
+For each datum the paper builds a *cost-graph*: a layered DAG with one
+node per (execution window, processor), a pseudo source ``s`` and sink
+``d``.  The weight of an edge into node ``(w, k)`` is the reference cost
+of hosting the datum at ``k`` during window ``w`` plus the cost of moving
+it there from the previous window's processor.  The shortest ``s -> d``
+path is the globally optimal center sequence, movement included.
+
+Because the graph is layered and complete between layers, the shortest
+path reduces to a forward dynamic program over windows:
+
+    ``f_w[k] = min_j (f_{w-1}[j] + vol * Dist[j, k]) + C[w, k]``
+
+which we evaluate with one ``(m, m)`` broadcast per window — and, when
+memory is unconstrained and volumes are uniform per datum, with a single
+``(D, m, m)`` broadcast per window for *all* data at once.  The explicit
+DAG construction lives in :mod:`repro.core.costgraph` and is used as a
+differential-testing oracle for this DP.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..mem import CapacityError, CapacityPlan, OccupancyTracker
+from ..trace import ReferenceTensor
+from .cost import CostModel
+from .schedule import Schedule
+
+__all__ = ["gomcds", "shortest_center_path"]
+
+_INF = np.inf
+
+
+def shortest_center_path(
+    window_costs: np.ndarray,
+    move_costs: np.ndarray,
+    allowed: np.ndarray | None = None,
+) -> tuple[np.ndarray, float]:
+    """Optimal center-per-window path for one datum.
+
+    Parameters
+    ----------
+    window_costs:
+        ``(n_windows, n_procs)`` reference cost of each candidate center.
+    move_costs:
+        ``(n_procs, n_procs)`` relocation cost between centers.
+    allowed:
+        Optional boolean mask of admissible ``(window, processor)`` cells
+        (memory availability); disallowed cells are priced at infinity.
+
+    Returns
+    -------
+    ``(path, cost)`` where ``path`` is the ``(n_windows,)`` pid sequence
+    and ``cost`` the total reference + movement cost.
+
+    Raises
+    ------
+    CapacityError
+        If some window has no admissible processor at all.
+    """
+    n_windows, n_procs = window_costs.shape
+    costs = window_costs.astype(np.float64, copy=True)
+    if allowed is not None:
+        costs[~allowed] = _INF
+    back = np.zeros((n_windows, n_procs), dtype=np.int64)
+    f = costs[0]
+    for w in range(1, n_windows):
+        # transition[j, k] = f[j] + move_costs[j, k]
+        transition = f[:, None] + move_costs
+        back[w] = transition.argmin(axis=0)
+        f = transition.min(axis=0) + costs[w]
+    end = int(f.argmin())
+    total = float(f[end])
+    if not np.isfinite(total):
+        raise CapacityError("no feasible center path under the memory constraint")
+    path = np.empty(n_windows, dtype=np.int64)
+    path[-1] = end
+    for w in range(n_windows - 1, 0, -1):
+        path[w - 1] = back[w, path[w]]
+    return path, total
+
+
+def _all_paths_vectorized(
+    costs: np.ndarray, dist: np.ndarray, vols: np.ndarray
+) -> np.ndarray:
+    """Unconstrained DP for all data at once.
+
+    ``costs`` is ``(D, W, m)``; movement between windows for datum ``d``
+    is ``vols[d] * dist``.  Returns ``(D, W)`` center paths.
+    """
+    n_data, n_windows, n_procs = costs.shape
+    back = np.zeros((n_data, n_windows, n_procs), dtype=np.int64)
+    f = costs[:, 0, :].astype(np.float64, copy=True)
+    move = vols[:, None, None] * dist[None, :, :]  # (D, m, m)
+    for w in range(1, n_windows):
+        transition = f[:, :, None] + move  # (D, m, m): axis 1 = from, 2 = to
+        back[:, w, :] = transition.argmin(axis=1)
+        f = transition.min(axis=1) + costs[:, w, :]
+    paths = np.empty((n_data, n_windows), dtype=np.int64)
+    paths[:, -1] = f.argmin(axis=1)
+    rows = np.arange(n_data)
+    for w in range(n_windows - 1, 0, -1):
+        paths[:, w - 1] = back[rows, w, paths[:, w]]
+    return paths
+
+
+def gomcds(
+    tensor: ReferenceTensor,
+    model: CostModel,
+    capacity: CapacityPlan | None = None,
+) -> Schedule:
+    """Global-optimal multiple-center scheduling (paper's Algorithm 2).
+
+    Without a memory constraint the result is the true per-datum optimum:
+    "When there is no processor collision of data in each execution
+    window, Algorithm 2 gives global-optimal centers resulting in the
+    minimum communication cost for an application."  With a constraint,
+    data are routed through the cost-graph in descending reference-volume
+    order and full ``(window, processor)`` cells are masked out — the
+    processor-list idea generalized to paths.
+    """
+    n_data, n_windows = tensor.n_data, tensor.n_windows
+    costs = model.all_placement_costs(tensor)  # (D, W, m)
+    dist = model.distances.astype(np.float64)
+    vols = (
+        np.ones(n_data)
+        if model.volumes is None
+        else np.asarray(model.volumes, dtype=np.float64)
+    )
+
+    if capacity is None:
+        centers = _all_paths_vectorized(costs, dist, vols)
+        return Schedule(centers=centers, windows=tensor.windows, method="GOMCDS")
+
+    capacity.check_feasible(n_data)
+    tracker = OccupancyTracker(capacity, n_windows=n_windows)
+    centers = np.empty((n_data, n_windows), dtype=np.int64)
+    for d in tensor.data_priority_order():
+        path, _ = shortest_center_path(
+            costs[d], vols[d] * dist, allowed=tracker.available_mask()
+        )
+        tracker.claim_path(path)
+        centers[d] = path
+    return Schedule(centers=centers, windows=tensor.windows, method="GOMCDS")

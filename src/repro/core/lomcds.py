@@ -1,0 +1,86 @@
+"""Local-Optimal Multiple-Center Data Scheduling (LOMCDS, paper §3.2.1).
+
+Algorithm 1 is applied to every execution window independently: within
+each window a datum sits at that window's local optimal center
+(Definition 4), and the datum is physically moved between centers at
+window boundaries.  The movement cost is *not* considered when choosing
+the centers — that is precisely the weakness GOMCDS fixes — but it is of
+course charged when the schedule is evaluated.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..mem import CapacityPlan, OccupancyTracker, first_available
+from ..trace import ReferenceTensor
+from .cost import CostModel
+from .schedule import Schedule
+
+__all__ = ["lomcds"]
+
+
+def lomcds(
+    tensor: ReferenceTensor,
+    model: CostModel,
+    capacity: CapacityPlan | None = None,
+) -> Schedule:
+    """Per-window local-optimal centers for every datum.
+
+    A datum that is not referenced at all inside a window has no local
+    preference there; it stays wherever the previous window put it (no
+    gratuitous movement), which matches the paper's run-time behaviour of
+    only moving data "to such centers according to these execution
+    windows".
+    """
+    n_data, n_windows = tensor.n_data, tensor.n_windows
+    costs = model.all_placement_costs(tensor)  # (D, W, m)
+    referenced = tensor.counts.sum(axis=2) > 0  # (D, W)
+
+    if capacity is None:
+        centers = costs.argmin(axis=2)  # (D, W) lowest-pid tie-break
+        _hold_position_when_idle(centers, referenced)
+        return Schedule(
+            centers=centers, windows=tensor.windows, method="LOMCDS"
+        )
+
+    capacity.check_feasible(n_data)
+    tracker = OccupancyTracker(capacity, n_windows=n_windows)
+    centers = np.empty((n_data, n_windows), dtype=np.int64)
+    for d in tensor.data_priority_order():
+        prev: int | None = None
+        for w in range(n_windows):
+            available = tracker.available_in_window(w)
+            if referenced[d, w] or prev is None:
+                proc = first_available(costs[d, w], available)
+            elif available[prev]:
+                proc = prev  # idle window: stay put if there is room
+            else:
+                proc = first_available(costs[d, w], available)
+            tracker.claim(proc, w)
+            centers[d, w] = proc
+            prev = proc
+    return Schedule(centers=centers, windows=tensor.windows, method="LOMCDS")
+
+
+def _hold_position_when_idle(centers: np.ndarray, referenced: np.ndarray) -> None:
+    """Forward-fill centers across windows where a datum is unreferenced.
+
+    Operates in place on the unconstrained center matrix.  Windows before
+    a datum's first reference copy the first referenced center backward,
+    so the initial placement is already useful.
+    """
+    n_data, n_windows = centers.shape
+    for d in range(n_data):
+        refs = np.nonzero(referenced[d])[0]
+        if len(refs) == 0:
+            centers[d, :] = centers[d, 0]
+            continue
+        first = refs[0]
+        centers[d, :first] = centers[d, first]
+        last_center = centers[d, first]
+        for w in range(first + 1, n_windows):
+            if referenced[d, w]:
+                last_center = centers[d, w]
+            else:
+                centers[d, w] = last_center

@@ -1,0 +1,115 @@
+"""Schedules: the output of every data-scheduling algorithm.
+
+A schedule assigns each datum a *center* (Definition 3) per execution
+window.  Single-center scheduling (SCDS) is the special case where every
+row is constant; multiple-center scheduling moves data between windows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..trace import WindowSet
+
+__all__ = ["Schedule"]
+
+
+@dataclass(frozen=True)
+class Schedule:
+    """Per-datum, per-window center assignment.
+
+    Attributes
+    ----------
+    centers:
+        ``(n_data, n_windows)`` int64 array; ``centers[d, w]`` is the pid
+        storing datum ``d`` throughout window ``w``.
+    windows:
+        The :class:`WindowSet` the window axis refers to.
+    method:
+        Human-readable name of the producing algorithm (for reports).
+    meta:
+        Free-form diagnostics attached by the producing scheduler.
+    """
+
+    centers: np.ndarray
+    windows: WindowSet
+    method: str = "unspecified"
+    meta: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        centers = np.asarray(self.centers, dtype=np.int64)
+        object.__setattr__(self, "centers", centers)
+        if centers.ndim != 2:
+            raise ValueError("centers must be (n_data, n_windows)")
+        if centers.shape[1] != self.windows.n_windows:
+            raise ValueError("center matrix does not match the window set")
+        if centers.size and centers.min() < 0:
+            raise ValueError("centers must be valid processor ids")
+
+    @property
+    def n_data(self) -> int:
+        return self.centers.shape[0]
+
+    @property
+    def n_windows(self) -> int:
+        return self.centers.shape[1]
+
+    def center_of(self, d: int, w: int) -> int:
+        """Center (storing processor) of datum ``d`` in window ``w``."""
+        return int(self.centers[d, w])
+
+    def initial_placement(self) -> np.ndarray:
+        """``(n_data,)`` pids of the pre-execution data distribution."""
+        return self.centers[:, 0].copy()
+
+    def movements(self) -> list[tuple[int, int, int, int]]:
+        """All relocations as ``(datum, window_boundary, src, dst)``.
+
+        ``window_boundary`` is the index of the window the datum moves
+        *into* (movement happens between windows ``w-1`` and ``w``).
+        """
+        if self.n_windows < 2:
+            return []
+        moved = self.centers[:, 1:] != self.centers[:, :-1]
+        data_ids, boundaries = np.nonzero(moved)
+        return [
+            (int(d), int(w) + 1, int(self.centers[d, w]), int(self.centers[d, w + 1]))
+            for d, w in zip(data_ids, boundaries)
+        ]
+
+    def n_movements(self) -> int:
+        """Total number of datum relocations across all boundaries."""
+        if self.n_windows < 2:
+            return 0
+        return int((self.centers[:, 1:] != self.centers[:, :-1]).sum())
+
+    def is_static(self) -> bool:
+        """True when no datum ever moves (single-center schedule)."""
+        return self.n_movements() == 0
+
+    def occupancy(self, n_procs: int) -> np.ndarray:
+        """``(n_windows, n_procs)`` data-item residency counts per window."""
+        out = np.zeros((self.n_windows, n_procs), dtype=np.int64)
+        for w in range(self.n_windows):
+            np.add.at(out[w], self.centers[:, w], 1)
+        return out
+
+    def restricted_to(self, data_ids: np.ndarray) -> "Schedule":
+        """Schedule for a subset of data (rows re-indexed in given order)."""
+        return Schedule(
+            centers=self.centers[np.asarray(data_ids)],
+            windows=self.windows,
+            method=self.method,
+            meta=dict(self.meta),
+        )
+
+    @staticmethod
+    def static(placement: np.ndarray, windows: WindowSet, method: str = "static") -> "Schedule":
+        """Broadcast a per-datum placement to every window."""
+        placement = np.asarray(placement, dtype=np.int64)
+        if placement.ndim != 1:
+            raise ValueError("placement must be a 1-D pid vector")
+        centers = np.repeat(placement[:, None], windows.n_windows, axis=1)
+        return Schedule(centers=centers, windows=windows, method=method)

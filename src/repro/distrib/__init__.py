@@ -1,0 +1,15 @@
+"""Baseline static data distributions (the paper's S.F. column)."""
+
+from .baselines import (
+    BASELINE_SCHEMES,
+    baseline_schedule,
+    placement_for_shape,
+    random_placement,
+)
+
+__all__ = [
+    "BASELINE_SCHEMES",
+    "baseline_schedule",
+    "placement_for_shape",
+    "random_placement",
+]

@@ -1,0 +1,72 @@
+"""Straightforward static data distributions — the paper's baselines.
+
+The paper's "S.F." column is the straight-forward method "which assigns
+each data element to the corresponding processor in a row-wise fashion".
+We also provide column-wise, 2-D block, block-cyclic and seeded-random
+static distributions for the baseline comparison and the ablations.
+
+Each function returns the per-datum placement vector; use
+:func:`baseline_schedule` to lift one into a static
+:class:`~repro.core.Schedule` over a workload's windows.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core import Schedule
+from ..grid import Topology
+from ..workloads.base import WorkloadInstance
+from ..workloads.partition import owner_map
+
+__all__ = [
+    "placement_for_shape",
+    "random_placement",
+    "baseline_schedule",
+    "BASELINE_SCHEMES",
+]
+
+BASELINE_SCHEMES = ("row_wise", "column_wise", "block", "block_cyclic", "random")
+
+
+def placement_for_shape(
+    scheme: str, data_shape: tuple[int, ...], topology: Topology, **kwargs
+) -> np.ndarray:
+    """Per-datum pid vector of a named static distribution.
+
+    For 2-D datum universes the distribution schemes of
+    :mod:`repro.workloads.partition` apply directly; a 1-D universe is
+    treated as a single row (so ``row_wise`` means contiguous blocks).
+    """
+    if scheme == "random":
+        return random_placement(data_shape, topology, **kwargs)
+    if len(data_shape) == 2:
+        rows, cols = data_shape
+    elif len(data_shape) == 1:
+        if scheme in ("block", "block_cyclic", "column_wise"):
+            raise ValueError(f"{scheme!r} needs a 2-D datum universe")
+        rows, cols = 1, data_shape[0]
+    else:
+        raise ValueError(f"unsupported data shape {data_shape}")
+    owners = owner_map(scheme, rows, cols, topology, **kwargs)
+    return owners.reshape(-1)
+
+
+def random_placement(
+    data_shape: tuple[int, ...], topology: Topology, seed: int = 0
+) -> np.ndarray:
+    """Uniform random placement, balanced to within one item per processor."""
+    n_data = int(np.prod(data_shape))
+    rng = np.random.default_rng(seed)
+    # Deal processors out round-robin, then shuffle: balanced and random.
+    placement = np.arange(n_data, dtype=np.int64) % topology.n_procs
+    rng.shuffle(placement)
+    return placement
+
+
+def baseline_schedule(
+    workload: WorkloadInstance, scheme: str = "row_wise", **kwargs
+) -> Schedule:
+    """Static schedule of a named distribution over a workload's windows."""
+    placement = placement_for_shape(scheme, workload.data_shape, workload.topology, **kwargs)
+    return Schedule.static(placement, workload.windows, method=f"S.F.({scheme})")

@@ -1,0 +1,20 @@
+"""Machine substrate: PIM processor-array topologies, metrics, routing."""
+
+from .distance import cached_distance_matrix, eccentricity, pairwise_distances
+from .extended_topologies import Mesh3D, WeightedMesh2D
+from .routing import Link, XYRouter
+from .topology import Mesh1D, Mesh2D, Topology, Torus2D
+
+__all__ = [
+    "Topology",
+    "Mesh1D",
+    "Mesh2D",
+    "Torus2D",
+    "Mesh3D",
+    "WeightedMesh2D",
+    "XYRouter",
+    "Link",
+    "cached_distance_matrix",
+    "pairwise_distances",
+    "eccentricity",
+]

@@ -1,0 +1,50 @@
+"""Cached distance-matrix access and distance utilities.
+
+Distance matrices are the single hottest input of every scheduler: the
+placement-cost tensor of each datum is ``R_d @ Dist``.  Topologies are
+frozen dataclasses (hashable), so we memoize one immutable ``(n, n)``
+matrix per topology instance and hand out read-only views.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+import numpy as np
+
+from .topology import Topology
+
+__all__ = ["cached_distance_matrix", "pairwise_distances", "eccentricity"]
+
+
+@lru_cache(maxsize=64)
+def _distance_matrix_for(topology: Topology) -> np.ndarray:
+    matrix = topology.distance_matrix()
+    matrix.setflags(write=False)
+    return matrix
+
+
+def cached_distance_matrix(topology: Topology) -> np.ndarray:
+    """Read-only ``(n, n)`` int64 hop-distance matrix for ``topology``.
+
+    The matrix is computed once per topology and shared; callers must not
+    mutate it (it is marked non-writeable).
+    """
+    return _distance_matrix_for(topology)
+
+
+def pairwise_distances(
+    topology: Topology, sources: np.ndarray, targets: np.ndarray
+) -> np.ndarray:
+    """Element-wise distances between parallel pid arrays.
+
+    ``sources`` and ``targets`` must broadcast against each other; the
+    result has the broadcast shape.
+    """
+    dist = cached_distance_matrix(topology)
+    return dist[np.asarray(sources), np.asarray(targets)]
+
+
+def eccentricity(topology: Topology, pid: int) -> int:
+    """Maximum distance from ``pid`` to any processor in the array."""
+    return int(cached_distance_matrix(topology)[pid].max())

@@ -1,0 +1,96 @@
+"""Dimension-ordered (x-y) routing on mesh topologies.
+
+The paper's machine model routes every message with x-y routing: a message
+first travels along the x axis (columns) to the destination column, then
+along the y axis (rows).  The analytic cost model only needs the hop
+*count* (Manhattan distance), but the replay simulator (``repro.sim``)
+routes hop-by-hop to account per-link traffic, so we materialize the
+actual paths here.
+
+Links are directed and identified as ``(from_pid, to_pid)`` tuples between
+adjacent processors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .extended_topologies import Mesh3D, WeightedMesh2D
+from .topology import Mesh1D, Mesh2D, Topology, Torus2D
+
+__all__ = ["Link", "XYRouter"]
+
+Link = tuple[int, int]
+"""A directed mesh link ``(from_pid, to_pid)`` between adjacent processors."""
+
+
+def _step_toward(coord: int, target: int, extent: int, wrap: bool) -> int:
+    """Next coordinate moving one hop from ``coord`` toward ``target``."""
+    if coord == target:
+        return coord
+    if not wrap:
+        return coord + 1 if target > coord else coord - 1
+    forward = (target - coord) % extent
+    backward = (coord - target) % extent
+    if forward <= backward:
+        return (coord + 1) % extent
+    return (coord - 1) % extent
+
+
+@dataclass(frozen=True)
+class XYRouter:
+    """Deterministic dimension-ordered router for 1-D/2-D meshes and tori.
+
+    For a 2-D mesh the route from ``(r1, c1)`` to ``(r2, c2)`` first fixes
+    the column (x axis) and then the row (y axis), matching the paper's
+    x-y routing; ties on a torus break toward the forward direction.
+    """
+
+    topology: Topology
+
+    def __post_init__(self) -> None:
+        if not isinstance(
+            self.topology, (Mesh1D, Mesh2D, Torus2D, Mesh3D, WeightedMesh2D)
+        ):
+            raise TypeError(
+                f"XYRouter supports mesh/torus topologies, got {self.topology!r}"
+            )
+
+    @property
+    def _wraps(self) -> bool:
+        return isinstance(self.topology, Torus2D)
+
+    def route(self, src: int, dst: int) -> list[int]:
+        """Processor pids visited from ``src`` to ``dst``, inclusive.
+
+        The length of the returned path is ``distance(src, dst) + 1``.
+        """
+        topo = self.topology
+        topo._check_pid(src)
+        topo._check_pid(dst)
+        path = [src]
+        coords = list(topo.coords(src))
+        target = topo.coords(dst)
+        # x axis (the last coordinate: column) first, then y (row).
+        for axis in reversed(range(len(coords))):
+            extent = topo.shape[axis]
+            while coords[axis] != target[axis]:
+                coords[axis] = _step_toward(
+                    coords[axis], target[axis], extent, self._wraps
+                )
+                path.append(topo.pid(*coords))
+        return path
+
+    def links(self, src: int, dst: int) -> list[Link]:
+        """Directed links traversed from ``src`` to ``dst`` (may be empty)."""
+        path = self.route(src, dst)
+        return list(zip(path[:-1], path[1:]))
+
+    def hop_count(self, src: int, dst: int) -> int:
+        """Number of physical hops of the x-y route.
+
+        Equals the metric distance on unit-weight topologies; on a
+        :class:`~repro.grid.WeightedMesh2D` the metric additionally
+        weights each hop by its axis cost.
+        """
+        return len(self.route(src, dst)) - 1

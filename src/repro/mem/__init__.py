@@ -1,0 +1,6 @@
+"""Memory substrate: capacities and the processor-list allocator."""
+
+from .allocator import OccupancyTracker, first_available
+from .capacity import CapacityError, CapacityPlan
+
+__all__ = ["CapacityPlan", "CapacityError", "OccupancyTracker", "first_available"]

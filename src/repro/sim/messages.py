@@ -1,0 +1,48 @@
+"""Message records for the hop-level replay simulator."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+__all__ = ["MessageKind", "Message"]
+
+
+class MessageKind(Enum):
+    """Why a message crossed the network."""
+
+    #: A datum was delivered from its center to a referencing processor.
+    FETCH = "fetch"
+    #: A datum was relocated between centers at a window boundary.
+    MOVE = "move"
+
+
+@dataclass(frozen=True)
+class Message:
+    """One network transfer.
+
+    Attributes
+    ----------
+    kind:
+        Fetch (reference service) or move (relocation).
+    datum:
+        The datum transferred.
+    src, dst:
+        Endpoint pids.
+    volume:
+        Transferred volume (reference count x datum volume for fetches).
+    window:
+        Execution window during/into which the transfer happened.
+    """
+
+    kind: MessageKind
+    datum: int
+    src: int
+    dst: int
+    volume: float
+    window: int
+
+    @property
+    def is_local(self) -> bool:
+        """True for zero-hop (same-processor) transfers."""
+        return self.src == self.dst

@@ -1,0 +1,128 @@
+"""Replay a schedule over a trace, hop by hop.
+
+The analytic evaluator (:mod:`repro.core.evaluate`) computes the paper's
+objective from the distance matrix; this driver *executes* the schedule
+on a :class:`~repro.sim.machine.PIMArray`: data are loaded at their
+initial centers, relocated through the x-y router at every window
+boundary, and every reference is serviced by a fetch message routed from
+the datum's center to the referencing processor.
+
+Because the metric is hop-additive and x-y routes realize the metric
+distance, the replayed cost must equal the analytic cost *exactly* —
+an end-to-end differential test of the whole stack (scheduler, allocator,
+evaluator, router), enforced by the integration tests.
+
+With ``track_links=True`` the report also carries per-link traffic, which
+the paper's metric abstracts away (total volume per directed mesh link,
+max link load) — used by the congestion extension bench.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core import CostModel, Schedule
+from ..grid import XYRouter
+from ..mem import CapacityPlan
+from ..trace import Trace
+from .machine import PIMArray
+from .stats import SimReport
+
+__all__ = ["replay_schedule"]
+
+
+def replay_schedule(
+    trace: Trace,
+    schedule: Schedule,
+    model: CostModel,
+    capacity: CapacityPlan | None = None,
+    track_links: bool = False,
+) -> SimReport:
+    """Execute ``schedule`` against ``trace`` and report observed costs.
+
+    Parameters
+    ----------
+    trace:
+        The access-event trace (its steps must span the schedule's
+        windows).
+    schedule:
+        Per-datum, per-window centers to execute.
+    model:
+        Metric + per-datum volumes (must match the trace's array).
+    capacity:
+        When given, the machine enforces it at every instant; an
+        over-committed schedule raises
+        :class:`~repro.mem.CapacityError`.
+    track_links:
+        Route every transfer hop-by-hop and record per-link volumes
+        (slower; off by default).
+    """
+    windows = schedule.windows
+    if windows.n_steps != trace.n_steps:
+        raise ValueError("schedule windows do not span the trace")
+    if trace.n_data != schedule.n_data:
+        raise ValueError("schedule and trace disagree on n_data")
+    if trace.n_procs != model.n_procs:
+        raise ValueError("trace and cost model disagree on the array size")
+
+    machine = PIMArray(model.topology, capacity)
+    machine.load_initial(schedule.initial_placement())
+    router = XYRouter(model.topology) if track_links else None
+    dist = model.distances
+    report = SimReport(per_window_cost=np.zeros(windows.n_windows))
+
+    event_windows = windows.assign(trace.steps)
+    order = np.argsort(event_windows, kind="stable")
+    boundaries = np.searchsorted(event_windows[order], np.arange(windows.n_windows + 1))
+
+    for w in range(windows.n_windows):
+        if w > 0:
+            _relocate_for_window(machine, schedule, model, w, report, router)
+        idx = order[boundaries[w] : boundaries[w + 1]]
+        procs = trace.procs[idx]
+        data = trace.data[idx]
+        counts = trace.counts[idx]
+        centers = machine.locations()[data]
+        expected = schedule.centers[data, w]
+        if not np.array_equal(centers, expected):
+            raise RuntimeError("machine residency diverged from the schedule")
+        vols = (
+            np.ones(len(idx))
+            if model.volumes is None
+            else np.asarray(model.volumes)[data]
+        )
+        hop_costs = dist[centers, procs] * counts * vols
+        report.reference_cost += float(hop_costs.sum())
+        report.per_window_cost[w] += float(hop_costs.sum())
+        report.n_fetches += int(len(idx))
+        report.n_local_fetches += int((centers == procs).sum())
+        if router is not None:
+            for c, p, volume in zip(centers, procs, counts * vols):
+                if c != p:
+                    report.add_link_traffic(router.links(int(c), int(p)), float(volume))
+    return report
+
+
+def _relocate_for_window(
+    machine: PIMArray,
+    schedule: Schedule,
+    model: CostModel,
+    w: int,
+    report: SimReport,
+    router: XYRouter | None,
+) -> None:
+    """Perform all movements into window ``w`` and charge their cost."""
+    prev_centers = schedule.centers[:, w - 1]
+    next_centers = schedule.centers[:, w]
+    moved = np.nonzero(prev_centers != next_centers)[0]
+    dist = model.distances
+    machine.relocate_batch(moved, next_centers[moved])
+    for d in moved:
+        src, dst = int(prev_centers[d]), int(next_centers[d])
+        volume = model.volume(int(d))
+        cost = float(dist[src, dst]) * volume
+        report.movement_cost += cost
+        report.per_window_cost[w] += cost
+        report.n_moves += 1
+        if router is not None:
+            report.add_link_traffic(router.links(src, dst), volume)

@@ -1,0 +1,60 @@
+"""Simulation reports: what the replay observed on the wire."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.evaluate import CostBreakdown
+from ..grid import Link
+
+__all__ = ["SimReport"]
+
+
+@dataclass
+class SimReport:
+    """Aggregated observations of one schedule replay.
+
+    ``reference_cost`` / ``movement_cost`` are hop x volume sums and must
+    equal the analytic :class:`~repro.core.CostBreakdown` exactly; link
+    statistics are only populated when the replay ran with link tracking.
+    """
+
+    reference_cost: float = 0.0
+    movement_cost: float = 0.0
+    n_fetches: int = 0
+    n_local_fetches: int = 0
+    n_moves: int = 0
+    link_traffic: dict[Link, float] = field(default_factory=dict)
+    per_window_cost: np.ndarray | None = None
+
+    @property
+    def total_cost(self) -> float:
+        return self.reference_cost + self.movement_cost
+
+    @property
+    def max_link_load(self) -> float:
+        """Heaviest directed link — a congestion indicator the paper's
+        hop-count metric ignores (extension)."""
+        if not self.link_traffic:
+            return 0.0
+        return max(self.link_traffic.values())
+
+    @property
+    def total_link_traffic(self) -> float:
+        return float(sum(self.link_traffic.values()))
+
+    def add_link_traffic(self, links, volume: float) -> None:
+        for link in links:
+            self.link_traffic[link] = self.link_traffic.get(link, 0.0) + volume
+
+    def as_breakdown(self) -> CostBreakdown:
+        return CostBreakdown(self.reference_cost, self.movement_cost)
+
+    def matches(self, analytic: CostBreakdown, tol: float = 1e-9) -> bool:
+        """Exact agreement check against the analytic evaluator."""
+        return (
+            abs(self.reference_cost - analytic.reference_cost) <= tol
+            and abs(self.movement_cost - analytic.movement_cost) <= tol
+        )

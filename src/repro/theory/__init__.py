@@ -1,0 +1,38 @@
+"""Executable checks of the paper's §4.1 properties (Lemma 1, Thms 2-3)."""
+
+from .convexity import is_convex_sequence, is_separable_convex, separable_components
+
+from .grouping_props import (
+    grouped_cost,
+    separate_cost,
+    theorem3_gap,
+    theorem3_gap_heavy_move,
+    theorem3_holds,
+)
+from .monotonicity import (
+    closest_center_pair,
+    is_strictly_increasing,
+    lemma1_holds,
+    lemma1_instance,
+    local_optimal_centers,
+    theorem2_holds,
+    theorem2_instance,
+)
+
+__all__ = [
+    "local_optimal_centers",
+    "closest_center_pair",
+    "is_strictly_increasing",
+    "lemma1_holds",
+    "lemma1_instance",
+    "theorem2_holds",
+    "theorem2_instance",
+    "separate_cost",
+    "grouped_cost",
+    "theorem3_gap",
+    "theorem3_gap_heavy_move",
+    "theorem3_holds",
+    "is_convex_sequence",
+    "is_separable_convex",
+    "separable_components",
+]

@@ -1,0 +1,78 @@
+"""Executable form of the paper's Theorem 3.
+
+"If ``p1`` and ``p2`` are the closest pair of the local optimal centers
+with respect to data D for two consecutive execution windows T0 and T1,
+grouping T0 and T1 does not reduce the total communication cost with
+respect to data D."
+
+Under the paper's unit-volume model the separate (LOMCDS-style) cost —
+each window at its local optimum plus the relocation between the two —
+is never beaten by any single merged center.  With heavier data volumes
+the theorem's premise breaks (relocation grows with volume while the
+per-reference cost of a *merged* center does not), which is exactly the
+regime where Algorithm 3's multi-window grouping earns its keep; the
+property tests cover both sides.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..grid import Topology, cached_distance_matrix
+from .monotonicity import closest_center_pair
+
+__all__ = ["separate_cost", "grouped_cost", "theorem3_gap", "theorem3_holds"]
+
+
+def separate_cost(
+    costs0: np.ndarray, costs1: np.ndarray, topology: Topology, volume: float = 1.0
+) -> float:
+    """Two-window cost at the closest pair of local optima, plus the move."""
+    p1, p2 = closest_center_pair(costs0, costs1, topology)
+    dist = cached_distance_matrix(topology)
+    return float(costs0[p1] + costs1[p2] + volume * dist[p1, p2])
+
+
+def grouped_cost(costs0: np.ndarray, costs1: np.ndarray) -> float:
+    """Best single-center cost of the merged window."""
+    merged = np.asarray(costs0) + np.asarray(costs1)
+    return float(merged.min())
+
+
+def theorem3_gap(
+    costs0: np.ndarray, costs1: np.ndarray, topology: Topology, volume: float = 1.0
+) -> float:
+    """``grouped - separate``; Theorem 3 asserts this is >= 0.
+
+    ``costs0``/``costs1`` must be *unit-volume* cost rows.  A uniform
+    datum volume scales the reference and the relocation cost alike, so
+    the gap simply scales with it and its sign is volume-independent; the
+    interesting non-unit case — volume paid by the *move only* — is
+    exposed by :func:`theorem3_gap_heavy_move`.
+    """
+    unit_gap = grouped_cost(costs0, costs1) - separate_cost(
+        costs0, costs1, topology, volume=1.0
+    )
+    return volume * unit_gap
+
+
+def theorem3_gap_heavy_move(
+    costs0: np.ndarray, costs1: np.ndarray, topology: Topology, move_volume: float
+) -> float:
+    """Gap when only the relocation pays the datum's volume.
+
+    Models a datum whose references fetch single elements but whose
+    relocation ships the whole object — the regime where grouping *can*
+    strictly reduce cost (the gap goes negative), motivating Algorithm 3.
+    """
+    p1, p2 = closest_center_pair(costs0, costs1, topology)
+    dist = cached_distance_matrix(topology)
+    separate = float(costs0[p1] + costs1[p2] + move_volume * dist[p1, p2])
+    return grouped_cost(costs0, costs1) - separate
+
+
+def theorem3_holds(
+    costs0: np.ndarray, costs1: np.ndarray, topology: Topology
+) -> bool:
+    """Theorem 3 under the paper's unit-volume model."""
+    return theorem3_gap(costs0, costs1, topology, volume=1.0) >= 0.0

@@ -1,0 +1,118 @@
+"""Executable forms of the paper's Lemma 1 and Theorem 2.
+
+The paper (proofs in its tech-report companion [5]) states that when
+``p1`` and ``p2`` are the *closest pair* of local optimal centers of two
+consecutive windows w.r.t. a datum, the first window's cost increases
+strictly monotonically along the direction from ``p1`` to ``p2`` — on a
+1-D array (Lemma 1) and along every shortest path on a 2-D array
+(Theorem 2).  These hold because a window's cost as a function of the
+center is a sum of Manhattan cones: separable convex piecewise-linear,
+flat exactly on the local-optimum set.
+
+This module provides the checkers used by the property-based test-suite
+to validate the claims on arbitrary generated instances, and by the
+grouping ablation to illustrate *why* pairwise grouping cannot help
+(Theorem 3, in :mod:`repro.theory.grouping_props`).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..grid import Mesh1D, Mesh2D, Topology, cached_distance_matrix
+
+__all__ = [
+    "local_optimal_centers",
+    "closest_center_pair",
+    "is_strictly_increasing",
+    "lemma1_holds",
+    "theorem2_holds",
+]
+
+
+def local_optimal_centers(cost_row: np.ndarray) -> np.ndarray:
+    """All minimizers of a window's cost row (Definition 4, with ties)."""
+    cost_row = np.asarray(cost_row)
+    return np.nonzero(cost_row == cost_row.min())[0]
+
+
+def closest_center_pair(
+    costs0: np.ndarray, costs1: np.ndarray, topology: Topology
+) -> tuple[int, int]:
+    """The closest pair of local optimal centers of two windows.
+
+    Returns ``(p1, p2)`` with ``p1`` a local optimum of window 0 and
+    ``p2`` of window 1 minimizing their distance; ties break toward the
+    lowest pids (deterministic).
+    """
+    opt0 = local_optimal_centers(costs0)
+    opt1 = local_optimal_centers(costs1)
+    dist = cached_distance_matrix(topology)
+    sub = dist[np.ix_(opt0, opt1)]
+    flat = int(sub.argmin())
+    i, j = np.unravel_index(flat, sub.shape)
+    return int(opt0[i]), int(opt1[j])
+
+
+def is_strictly_increasing(values: np.ndarray) -> bool:
+    """True when every consecutive difference is positive."""
+    values = np.asarray(values)
+    return bool(np.all(np.diff(values) > 0))
+
+
+def lemma1_holds(costs0: np.ndarray, p1: int, p2: int) -> bool:
+    """Lemma 1 (1-D): strict cost increase walking from ``p1`` to ``p2``.
+
+    ``costs0`` is window 0's cost row on a linear array; ``(p1, p2)``
+    should be the closest pair of local optima of the two windows.  A
+    zero-length walk trivially holds.
+    """
+    costs0 = np.asarray(costs0)
+    if p1 == p2:
+        return True
+    step = 1 if p2 > p1 else -1
+    walk = costs0[np.arange(p1, p2 + step, step)]
+    return is_strictly_increasing(walk)
+
+
+def theorem2_holds(costs0: np.ndarray, p1: int, p2: int, topology: Mesh2D) -> bool:
+    """Theorem 2 (2-D): strict increase along *every* shortest p1->p2 path.
+
+    Rather than enumerating the exponentially many monotone lattice paths,
+    we check the equivalent local condition: inside the bounding rectangle
+    of ``p1`` and ``p2``, every unit step toward ``p2`` (in either of the
+    at most two directions a shortest path may use) strictly increases
+    window 0's cost.  Every shortest path is composed of exactly such
+    steps, and every such step lies on some shortest path.
+    """
+    if not isinstance(topology, Mesh2D):
+        raise TypeError("Theorem 2 is stated for 2-D meshes")
+    costs0 = np.asarray(costs0, dtype=np.float64)
+    grid = costs0.reshape(topology.shape)
+    r1, c1 = topology.coords(p1)
+    r2, c2 = topology.coords(p2)
+    dr = 0 if r1 == r2 else (1 if r2 > r1 else -1)
+    dc = 0 if c1 == c2 else (1 if c2 > c1 else -1)
+    rows = range(r1, r2 + dr, dr) if dr else [r1]
+    cols = range(c1, c2 + dc, dc) if dc else [c1]
+    for r in rows:
+        for c in cols:
+            if dr and r != r2:
+                if grid[r + dr, c] <= grid[r, c]:
+                    return False
+            if dc and c != c2:
+                if grid[r, c + dc] <= grid[r, c]:
+                    return False
+    return True
+
+
+def lemma1_instance(costs0: np.ndarray, costs1: np.ndarray, topology: Mesh1D) -> bool:
+    """Full Lemma 1 check: derive the closest pair, then test the walk."""
+    p1, p2 = closest_center_pair(costs0, costs1, topology)
+    return lemma1_holds(costs0, p1, p2)
+
+
+def theorem2_instance(costs0: np.ndarray, costs1: np.ndarray, topology: Mesh2D) -> bool:
+    """Full Theorem 2 check: derive the closest pair, then test all paths."""
+    p1, p2 = closest_center_pair(costs0, costs1, topology)
+    return theorem2_holds(costs0, p1, p2, topology)

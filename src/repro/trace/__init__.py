@@ -1,0 +1,39 @@
+"""Program substrate: access traces, execution windows, reference strings."""
+
+from .dataref import data_reference_string, per_processor_demand, working_set_sizes
+from .events import AccessEvent, Trace, TraceBuilder, concat_traces, reverse_trace
+from .io import load_schedule, load_trace, save_schedule, save_trace
+from .refstrings import ReferenceTensor, build_reference_tensor
+from .segmentation import segment_by_similarity, segment_dp, step_profiles
+from .windows import (
+    WindowSet,
+    single_window,
+    window_per_step,
+    windows_by_step_count,
+    windows_from_boundaries,
+)
+
+__all__ = [
+    "AccessEvent",
+    "Trace",
+    "TraceBuilder",
+    "concat_traces",
+    "reverse_trace",
+    "WindowSet",
+    "windows_by_step_count",
+    "windows_from_boundaries",
+    "single_window",
+    "window_per_step",
+    "ReferenceTensor",
+    "build_reference_tensor",
+    "data_reference_string",
+    "per_processor_demand",
+    "working_set_sizes",
+    "save_trace",
+    "load_trace",
+    "save_schedule",
+    "load_schedule",
+    "step_profiles",
+    "segment_by_similarity",
+    "segment_dp",
+]

@@ -1,0 +1,58 @@
+"""Data reference strings per processor (Definition 2 of the paper).
+
+Dual view of :mod:`repro.trace.refstrings`: for each *processor*, which
+data does it touch, window by window.  The schedulers themselves only need
+the processor-side view, but the simulator, the memory planner (minimum
+residency requirements) and the reports use this one.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .events import Trace
+from .windows import WindowSet
+
+__all__ = [
+    "data_reference_string",
+    "per_processor_demand",
+    "working_set_sizes",
+]
+
+
+def data_reference_string(trace: Trace, proc: int) -> list[tuple[int, int]]:
+    """Definition 2: the ordered ``(step, datum)`` references of ``proc``.
+
+    References within one step are emitted in datum order (intra-step
+    order is not semantically meaningful); multi-count events repeat.
+    """
+    if not 0 <= proc < trace.n_procs:
+        raise ValueError(f"proc {proc} outside array of {trace.n_procs}")
+    mask = trace.procs == proc
+    out: list[tuple[int, int]] = []
+    for s, d, c in zip(trace.steps[mask], trace.data[mask], trace.counts[mask]):
+        out.extend([(int(s), int(d))] * int(c))
+    return out
+
+
+def per_processor_demand(trace: Trace, windows: WindowSet) -> np.ndarray:
+    """``(n_windows, n_procs)`` total reference counts issued per processor."""
+    out = np.zeros((windows.n_windows, trace.n_procs), dtype=np.int64)
+    if len(trace):
+        w = windows.assign(trace.steps)
+        np.add.at(out, (w, trace.procs), trace.counts)
+    return out
+
+
+def working_set_sizes(trace: Trace, windows: WindowSet) -> np.ndarray:
+    """``(n_windows, n_procs)`` count of *distinct* data each processor
+    touches per window — the lower bound on useful local residency."""
+    out = np.zeros((windows.n_windows, trace.n_procs), dtype=np.int64)
+    if len(trace):
+        w = windows.assign(trace.steps)
+        key = (w * trace.n_procs + trace.procs) * trace.n_data + trace.data
+        uniq = np.unique(key)
+        procs = (uniq // trace.n_data) % trace.n_procs
+        wins = uniq // (trace.n_data * trace.n_procs)
+        np.add.at(out, (wins, procs), 1)
+    return out

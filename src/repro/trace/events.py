@@ -1,0 +1,229 @@
+"""Access-event traces: the program substrate of the scheduling problem.
+
+The paper abstracts a program as its *data reference string*: a sequence of
+(processor, datum) reference events issued over parallel execution steps.
+We store a trace as a struct-of-arrays over four parallel int64 vectors —
+``steps``, ``procs``, ``data``, ``counts`` — which the reference-tensor
+builder consumes with a single ``np.add.at``.
+
+A :class:`TraceBuilder` offers an append interface for workload generators;
+:class:`Trace` is the immutable result.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["AccessEvent", "Trace", "TraceBuilder", "concat_traces", "reverse_trace"]
+
+
+@dataclass(frozen=True)
+class AccessEvent:
+    """One reference: processor ``proc`` touches datum ``data`` ``count``
+    times during execution step ``step``."""
+
+    step: int
+    proc: int
+    data: int
+    count: int = 1
+
+
+@dataclass(frozen=True)
+class Trace:
+    """Immutable reference trace.
+
+    Attributes
+    ----------
+    steps, procs, data, counts:
+        Parallel int64 arrays; entry ``i`` says processor ``procs[i]``
+        referenced datum ``data[i]`` ``counts[i]`` times at step
+        ``steps[i]``.  Entries are sorted by step (stable).
+    n_steps:
+        Number of execution steps spanned (``max(steps) + 1``, or an
+        explicit larger horizon).
+    n_data:
+        Number of distinct datum ids addressable (``max(data) + 1`` or an
+        explicit larger universe, so empty-reference data still exist).
+    n_procs:
+        Size of the processor array the trace was generated for.
+    """
+
+    steps: np.ndarray
+    procs: np.ndarray
+    data: np.ndarray
+    counts: np.ndarray
+    n_steps: int
+    n_data: int
+    n_procs: int
+
+    def __post_init__(self) -> None:
+        arrays = (self.steps, self.procs, self.data, self.counts)
+        lengths = {a.shape for a in arrays}
+        if len(lengths) != 1 or any(a.ndim != 1 for a in arrays):
+            raise ValueError("trace arrays must be 1-D and parallel")
+        if len(self.steps):
+            if self.steps.min() < 0 or self.steps.max() >= self.n_steps:
+                raise ValueError("step ids out of range")
+            if self.procs.min() < 0 or self.procs.max() >= self.n_procs:
+                raise ValueError("processor ids out of range")
+            if self.data.min() < 0 or self.data.max() >= self.n_data:
+                raise ValueError("datum ids out of range")
+            if self.counts.min() <= 0:
+                raise ValueError("reference counts must be positive")
+            if np.any(np.diff(self.steps) < 0):
+                raise ValueError("trace events must be sorted by step")
+
+    def __len__(self) -> int:
+        return len(self.steps)
+
+    @property
+    def total_references(self) -> int:
+        """Total number of individual data references in the trace."""
+        return int(self.counts.sum())
+
+    def events(self) -> list[AccessEvent]:
+        """Materialize events as objects (for tests and small examples)."""
+        return [
+            AccessEvent(int(s), int(p), int(d), int(c))
+            for s, p, d, c in zip(self.steps, self.procs, self.data, self.counts)
+        ]
+
+    def shifted(self, step_offset: int) -> "Trace":
+        """Copy of the trace with all steps moved later by ``step_offset``."""
+        if step_offset < 0:
+            raise ValueError("step_offset must be non-negative")
+        return Trace(
+            steps=self.steps + step_offset,
+            procs=self.procs,
+            data=self.data,
+            counts=self.counts,
+            n_steps=self.n_steps + step_offset,
+            n_data=self.n_data,
+            n_procs=self.n_procs,
+        )
+
+
+@dataclass
+class TraceBuilder:
+    """Mutable accumulator used by workload generators.
+
+    Generators call :meth:`add` once per reference and :meth:`end_step`
+    at parallel-step boundaries; :meth:`build` freezes the result.
+    """
+
+    n_procs: int
+    n_data: int
+    _steps: list[int] = field(default_factory=list)
+    _procs: list[int] = field(default_factory=list)
+    _data: list[int] = field(default_factory=list)
+    _counts: list[int] = field(default_factory=list)
+    _current_step: int = 0
+    _step_dirty: bool = False
+
+    def add(self, proc: int, data: int, count: int = 1) -> None:
+        """Record ``count`` references to ``data`` by ``proc`` this step."""
+        if not 0 <= proc < self.n_procs:
+            raise ValueError(f"proc {proc} outside array of {self.n_procs}")
+        if not 0 <= data < self.n_data:
+            raise ValueError(f"datum {data} outside universe of {self.n_data}")
+        if count <= 0:
+            raise ValueError("count must be positive")
+        self._steps.append(self._current_step)
+        self._procs.append(proc)
+        self._data.append(data)
+        self._counts.append(count)
+        self._step_dirty = True
+
+    def add_many(self, proc: int, data_ids, count: int = 1) -> None:
+        """Record references by ``proc`` to each datum in ``data_ids``."""
+        for d in data_ids:
+            self.add(proc, int(d), count)
+
+    def end_step(self) -> int:
+        """Close the current parallel step; returns the new step index."""
+        self._current_step += 1
+        self._step_dirty = False
+        return self._current_step
+
+    @property
+    def current_step(self) -> int:
+        return self._current_step
+
+    def build(self) -> Trace:
+        """Freeze into a :class:`Trace` (consolidating duplicate events)."""
+        n_steps = self._current_step + (1 if self._step_dirty else 0)
+        n_steps = max(n_steps, 1)
+        steps = np.asarray(self._steps, dtype=np.int64)
+        procs = np.asarray(self._procs, dtype=np.int64)
+        data = np.asarray(self._data, dtype=np.int64)
+        counts = np.asarray(self._counts, dtype=np.int64)
+        if len(steps):
+            # Consolidate duplicate (step, proc, data) triples so the trace
+            # stays compact for reference-heavy kernels.
+            key = (steps * self.n_procs + procs) * self.n_data + data
+            order = np.argsort(key, kind="stable")
+            key, steps, procs, data, counts = (
+                key[order],
+                steps[order],
+                procs[order],
+                data[order],
+                counts[order],
+            )
+            boundaries = np.concatenate(([True], key[1:] != key[:-1]))
+            group = np.cumsum(boundaries) - 1
+            summed = np.zeros(int(group[-1]) + 1, dtype=np.int64)
+            np.add.at(summed, group, counts)
+            steps, procs, data = steps[boundaries], procs[boundaries], data[boundaries]
+            counts = summed
+        return Trace(
+            steps=steps,
+            procs=procs,
+            data=data,
+            counts=counts,
+            n_steps=n_steps,
+            n_data=self.n_data,
+            n_procs=self.n_procs,
+        )
+
+
+def concat_traces(first: Trace, second: Trace) -> Trace:
+    """Concatenate two traces in time (``second`` runs after ``first``).
+
+    Both traces must target the same processor array and datum universe;
+    this is how the paper's combined benchmarks (3, 4, 5) are formed.
+    """
+    if first.n_procs != second.n_procs:
+        raise ValueError("traces target different processor arrays")
+    if first.n_data != second.n_data:
+        raise ValueError("traces use different datum universes")
+    shifted = second.shifted(first.n_steps)
+    return Trace(
+        steps=np.concatenate([first.steps, shifted.steps]),
+        procs=np.concatenate([first.procs, shifted.procs]),
+        data=np.concatenate([first.data, shifted.data]),
+        counts=np.concatenate([first.counts, shifted.counts]),
+        n_steps=shifted.n_steps,
+        n_data=first.n_data,
+        n_procs=first.n_procs,
+    )
+
+
+def reverse_trace(trace: Trace) -> Trace:
+    """The trace executed in reverse step order (paper's benchmark 5).
+
+    Step ``s`` becomes step ``n_steps - 1 - s``; references within a step
+    are unordered so nothing else changes.
+    """
+    new_steps = trace.n_steps - 1 - trace.steps
+    order = np.argsort(new_steps, kind="stable")
+    return Trace(
+        steps=new_steps[order],
+        procs=trace.procs[order],
+        data=trace.data[order],
+        counts=trace.counts[order],
+        n_steps=trace.n_steps,
+        n_data=trace.n_data,
+        n_procs=trace.n_procs,
+    )

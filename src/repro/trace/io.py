@@ -1,0 +1,78 @@
+"""Persistence for traces, windows and schedules (single ``.npz`` files).
+
+Generating reference traces can dominate experiment time for large
+kernels; these helpers let a workload be generated once and re-scheduled
+many times, and let schedules be archived next to EXPERIMENTS.md results.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from .events import Trace
+from .windows import WindowSet
+
+__all__ = ["save_trace", "load_trace", "save_schedule", "load_schedule"]
+
+
+def save_trace(path, trace: Trace, windows: WindowSet | None = None) -> None:
+    """Write a trace (and optionally its window set) to ``path`` (.npz)."""
+    payload = {
+        "steps": trace.steps,
+        "procs": trace.procs,
+        "data": trace.data,
+        "counts": trace.counts,
+        "meta": np.array([trace.n_steps, trace.n_data, trace.n_procs]),
+    }
+    if windows is not None:
+        if windows.n_steps != trace.n_steps:
+            raise ValueError("window set does not span the trace")
+        payload["window_starts"] = windows.starts
+    np.savez_compressed(Path(path), **payload)
+
+
+def load_trace(path) -> tuple[Trace, WindowSet | None]:
+    """Read a trace written by :func:`save_trace`."""
+    with np.load(Path(path)) as archive:
+        n_steps, n_data, n_procs = (int(x) for x in archive["meta"])
+        trace = Trace(
+            steps=archive["steps"],
+            procs=archive["procs"],
+            data=archive["data"],
+            counts=archive["counts"],
+            n_steps=n_steps,
+            n_data=n_data,
+            n_procs=n_procs,
+        )
+        windows = None
+        if "window_starts" in archive:
+            windows = WindowSet(starts=archive["window_starts"], n_steps=n_steps)
+    return trace, windows
+
+
+def save_schedule(path, schedule) -> None:
+    """Write a schedule's centers + windows to ``path`` (.npz)."""
+    np.savez_compressed(
+        Path(path),
+        centers=schedule.centers,
+        window_starts=schedule.windows.starts,
+        n_steps=np.array([schedule.windows.n_steps]),
+        method=np.array([schedule.method]),
+    )
+
+
+def load_schedule(path):
+    """Read a schedule written by :func:`save_schedule`."""
+    from ..core.schedule import Schedule
+
+    with np.load(Path(path)) as archive:
+        windows = WindowSet(
+            starts=archive["window_starts"], n_steps=int(archive["n_steps"][0])
+        )
+        return Schedule(
+            centers=archive["centers"],
+            windows=windows,
+            method=str(archive["method"][0]),
+        )

@@ -1,0 +1,153 @@
+"""Automatic execution-window segmentation (extension of the paper's §4).
+
+The paper assumes execution windows "are given" and §4 only *merges*
+them.  But where should the boundaries come from in the first place?
+Section 4's own discussion says the answer is behavioural: windows
+should cover spans of steps with a stable reference pattern, and break
+where the pattern shifts.  This module derives boundaries from the trace
+itself, using the per-step **demand profile** — the vector of reference
+counts per processor — as the pattern signature:
+
+* :func:`segment_by_similarity` — streaming change-point detection: a
+  new window starts whenever the cosine similarity between the running
+  window's mean profile and the next step's profile drops below a
+  threshold.  One pass, O(T·m).
+* :func:`segment_dp` — optimal ``k``-segmentation: dynamic programming
+  minimizing the total within-window variation (sum of squared
+  distances of step profiles to their window mean), the 1-D analogue of
+  k-means on the time axis.  O(T²·(m + k)).
+
+Ablation I compares these against the kernels' natural (outer-loop)
+windows and fixed-size windows.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .events import Trace
+from .windows import WindowSet, windows_from_boundaries
+
+__all__ = ["step_profiles", "segment_by_similarity", "segment_dp"]
+
+
+#: Datum-bucket granularities of the joint feature (powers of a base).
+_BUCKET_LEVELS = (1, 8, 64)
+_N_BUCKETS = 8
+
+
+def step_profiles(
+    trace: Trace, normalize: bool = False, feature: str = "proc"
+) -> np.ndarray:
+    """Per-step demand signatures.
+
+    ``feature="proc"``: the ``(n_steps, n_procs)`` processor demand
+    vector — cheap, but blind to *which data* each processor touches
+    (an FFT's stages all look identical through it).
+
+    ``feature="proc-datum"``: a multi-resolution joint sketch — for each
+    bucket level ``L`` in ``(1, 8, 64)`` the demand is histogrammed over
+    ``(processor, (datum // L) mod 8)`` cells, concatenated into one
+    ``(n_steps, n_procs * 24)`` matrix.  Steps that pair the same
+    processors with *different* data (stride patterns) now separate.
+    """
+    if feature == "proc":
+        out = np.zeros((trace.n_steps, trace.n_procs), dtype=np.float64)
+        if len(trace):
+            np.add.at(out, (trace.steps, trace.procs), trace.counts)
+    elif feature == "proc-datum":
+        width = trace.n_procs * _N_BUCKETS
+        out = np.zeros(
+            (trace.n_steps, width * len(_BUCKET_LEVELS)), dtype=np.float64
+        )
+        if len(trace):
+            for lvl, level in enumerate(_BUCKET_LEVELS):
+                buckets = (trace.data // level) % _N_BUCKETS
+                cols = lvl * width + trace.procs * _N_BUCKETS + buckets
+                np.add.at(out, (trace.steps, cols), trace.counts)
+    else:
+        raise ValueError(f"unknown feature {feature!r}")
+    if normalize:
+        norms = np.linalg.norm(out, axis=1, keepdims=True)
+        np.divide(out, norms, out=out, where=norms > 0)
+    return out
+
+
+def segment_by_similarity(
+    trace: Trace,
+    threshold: float = 0.5,
+    min_window: int = 1,
+    feature: str = "proc-datum",
+) -> WindowSet:
+    """Greedy change-point segmentation on demand-profile similarity.
+
+    Step ``t`` joins the current window while the cosine similarity of
+    its profile with the window's running mean stays at least
+    ``threshold``; otherwise a boundary is placed (subject to
+    ``min_window``).  Steps with no references always join.
+    """
+    if not 0.0 <= threshold <= 1.0:
+        raise ValueError("threshold must be in [0, 1]")
+    if min_window < 1:
+        raise ValueError("min_window must be at least 1")
+    profiles = step_profiles(trace, feature=feature)
+    boundaries = [0]
+    running = profiles[0].copy()
+    window_len = 1
+    for t in range(1, trace.n_steps):
+        profile = profiles[t]
+        p_norm = np.linalg.norm(profile)
+        r_norm = np.linalg.norm(running)
+        if p_norm == 0 or r_norm == 0:
+            similarity = 1.0  # idle steps never force a boundary
+        else:
+            similarity = float(profile @ running) / (p_norm * r_norm)
+        if similarity < threshold and window_len >= min_window:
+            boundaries.append(t)
+            running = profile.copy()
+            window_len = 1
+        else:
+            running += profile
+            window_len += 1
+    return windows_from_boundaries(boundaries, trace.n_steps)
+
+
+def segment_dp(trace: Trace, n_windows: int, feature: str = "proc-datum") -> WindowSet:
+    """Optimal ``n_windows``-segmentation by within-window variation.
+
+    Minimizes ``sum_w sum_{t in w} ||profile_t - mean_w||^2`` over all
+    partitions of the step axis into exactly ``n_windows`` contiguous
+    windows (fewer if there are not enough steps).
+    """
+    if n_windows < 1:
+        raise ValueError("n_windows must be at least 1")
+    profiles = step_profiles(trace, feature=feature)
+    n_steps = trace.n_steps
+    n_windows = min(n_windows, n_steps)
+
+    # Interval cost via prefix sums: sse(a, b) over steps [a, b).
+    prefix = np.vstack([np.zeros_like(profiles[:1]), np.cumsum(profiles, axis=0)])
+    sq_prefix = np.concatenate([[0.0], np.cumsum((profiles**2).sum(axis=1))])
+
+    def sse(a: int, b: int) -> float:
+        total = prefix[b] - prefix[a]
+        count = b - a
+        return float(sq_prefix[b] - sq_prefix[a] - (total @ total) / count)
+
+    best = np.full((n_windows + 1, n_steps + 1), np.inf)
+    back = np.zeros((n_windows + 1, n_steps + 1), dtype=np.int64)
+    best[0, 0] = 0.0
+    for k in range(1, n_windows + 1):
+        for end in range(k, n_steps + 1):
+            for start in range(k - 1, end):
+                cand = best[k - 1, start] + sse(start, end)
+                if cand < best[k, end]:
+                    best[k, end] = cand
+                    back[k, end] = start
+    boundaries = []
+    end = n_steps
+    for k in range(n_windows, 0, -1):
+        start = int(back[k, end])
+        boundaries.append(start)
+        end = start
+    return windows_from_boundaries(sorted(boundaries), n_steps)

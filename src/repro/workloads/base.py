@@ -1,0 +1,91 @@
+"""Workload protocol: benchmark kernels as reference-string generators.
+
+A workload runs a kernel *symbolically* against an iteration partition and
+records which processor references which datum at which parallel step —
+the data reference string the schedulers consume.  Nothing numeric is
+computed; only the access pattern matters, exactly as in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..grid import Topology
+from ..trace import (
+    ReferenceTensor,
+    Trace,
+    WindowSet,
+    build_reference_tensor,
+    windows_from_boundaries,
+)
+
+__all__ = ["WorkloadInstance", "matrix_data_ids", "combine_windows"]
+
+
+@dataclass(frozen=True)
+class WorkloadInstance:
+    """A generated benchmark: its trace, window structure and data layout.
+
+    Attributes
+    ----------
+    name:
+        Benchmark label used in table rows (e.g. ``"lu"``).
+    trace:
+        The access-event trace.
+    windows:
+        The benchmark's natural execution-window segmentation (typically
+        one window per outer-loop iteration group).
+    data_shape:
+        Logical shape of the datum universe (e.g. ``(n, n)`` for a matrix
+        of elements); baselines use it for row-/column-wise placement.
+    topology:
+        Processor array the trace was generated for.
+    """
+
+    name: str
+    trace: Trace
+    windows: WindowSet
+    data_shape: tuple[int, ...]
+    topology: Topology
+
+    def __post_init__(self) -> None:
+        expected = 1
+        for extent in self.data_shape:
+            expected *= extent
+        if expected != self.trace.n_data:
+            raise ValueError(
+                f"data_shape {self.data_shape} does not cover {self.trace.n_data} data"
+            )
+        if self.topology.n_procs != self.trace.n_procs:
+            raise ValueError("trace and topology disagree on the processor count")
+
+    @property
+    def n_data(self) -> int:
+        return self.trace.n_data
+
+    def reference_tensor(self) -> ReferenceTensor:
+        """Build the ``R[d, w, p]`` tensor on the native windows."""
+        return build_reference_tensor(self.trace, self.windows)
+
+    def with_windows(self, windows: WindowSet) -> "WorkloadInstance":
+        """Same benchmark, re-segmented (for window-size ablations)."""
+        return WorkloadInstance(
+            name=self.name,
+            trace=self.trace,
+            windows=windows,
+            data_shape=self.data_shape,
+            topology=self.topology,
+        )
+
+
+def matrix_data_ids(n_rows: int, n_cols: int) -> np.ndarray:
+    """Datum id of each matrix element: row-major ``(n_rows, n_cols)``."""
+    return np.arange(n_rows * n_cols, dtype=np.int64).reshape(n_rows, n_cols)
+
+
+def combine_windows(first: WindowSet, second: WindowSet) -> WindowSet:
+    """Window set of a concatenated trace: both boundary sets, shifted."""
+    boundaries = np.concatenate([first.starts, second.starts + first.n_steps])
+    return windows_from_boundaries(boundaries, first.n_steps + second.n_steps)

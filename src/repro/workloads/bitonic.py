@@ -1,0 +1,65 @@
+"""Bitonic sorting network workload (extended suite).
+
+Batcher's bitonic sort over ``n = 2^k`` elements: ``log n`` stages, stage
+``s`` consisting of ``s+1`` compare-exchange sub-steps with strides
+``2^s, 2^(s-1), ..., 1``.  Each compare-exchange of indices ``i`` and
+``i XOR stride`` is executed by the owner of the lower index, which
+references both elements twice (read + conditional write-back).
+
+The communication structure is the FFT's stride pattern replayed
+``O(log n)`` times with strides going *down* inside each stage — a
+dense, highly regular network where per-window loci alternate rapidly,
+probing the window-grouping machinery (adjacent sub-steps of the same
+stride group well; stride changes should break groups).
+
+One parallel step per sub-step; one execution window per stage.
+"""
+
+from __future__ import annotations
+
+from ..grid import Topology
+from ..trace import TraceBuilder, windows_from_boundaries
+from .base import WorkloadInstance
+from .partition import owner_map
+
+__all__ = ["bitonic_workload"]
+
+
+def bitonic_workload(
+    n: int,
+    topology: Topology,
+    scheme: str = "row_wise",
+    name: str = "bitonic",
+) -> WorkloadInstance:
+    """Bitonic-network reference trace over ``n`` (a power of two) keys."""
+    if n < 2 or n & (n - 1):
+        raise ValueError("bitonic sort size must be a power of two >= 2")
+    owners = owner_map(scheme, 1, n, topology).reshape(-1)
+    builder = TraceBuilder(n_procs=topology.n_procs, n_data=n)
+    stage_boundaries = []
+
+    size = 2
+    while size <= n:
+        stage_boundaries.append(builder.current_step)
+        stride = size // 2
+        while stride >= 1:
+            for i in range(n):
+                partner = i ^ stride
+                if partner < i:
+                    continue
+                proc = int(owners[i])
+                builder.add(proc, i, 2)
+                builder.add(proc, partner, 2)
+            builder.end_step()
+            stride //= 2
+        size <<= 1
+
+    trace = builder.build()
+    windows = windows_from_boundaries(stage_boundaries, trace.n_steps)
+    return WorkloadInstance(
+        name=name,
+        trace=trace,
+        windows=windows,
+        data_shape=(n,),
+        topology=topology,
+    )

@@ -1,0 +1,147 @@
+"""The "CODE" kernel: a deterministic irregular-access substitute.
+
+The paper's benchmarks 3-5 mix LU / matrix-square with a kernel called
+CODE, defined only in an unavailable 1997 Notre Dame technical report
+(reference [5]).  What the paper tells us about it: it is an example of a
+*non-uniform* loop whose data reference pattern defeats the
+linear/uniform-reference redistribution methods of prior work, and it is
+the workload on which the movement-aware schedulers (LOMCDS/GOMCDS) win
+most clearly.
+
+This module implements a substitute with those properties (the
+substitution is documented in DESIGN.md).  The kernel has two phases over
+an ``n x n`` datum universe, both built from *non-linear* (multiplicative,
+wrap-around) index maps — the reference pattern is neither a uniform
+dependence distance nor a linear combination of loop indices:
+
+**Phase 1 — roaming wavefront gather** (``n`` steps).  At step ``t`` the
+owners of matrix row ``(5 t + 2) mod n`` read data row ``(3 t + 1) mod n``
+(``intensity`` references each, plus one skewed neighbour reference).
+Referencing processors and referenced data roam the array at different
+non-unit strides, so within a window each datum's reference string is
+tightly clustered, while across windows the cluster jumps — the regime
+where run-time data movement pays.
+
+**Phase 2 — skewed transpose sweep** (``n`` steps).  At step ``t`` the
+owners of row ``(3 t) mod n`` read data *column* ``(7 t + 4) mod n``,
+exchanging the roles of rows and columns with yet another stride.
+
+On top of both phases a seeded generator sprinkles ``noise`` random
+(processor, datum) references per step, modelling data-dependent
+accesses.  Everything is deterministic given ``seed``.
+
+Windows group ``steps_per_window`` consecutive steps (default ``n // 8``)
+and the phase boundary always starts a new window.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..grid import Topology
+from ..trace import TraceBuilder, reverse_trace, windows_from_boundaries
+from .base import WorkloadInstance, matrix_data_ids
+from .partition import owner_map
+
+__all__ = ["code_workload", "reversed_code_workload"]
+
+
+def _noise_refs(
+    builder: TraceBuilder, rng: np.random.Generator, n_procs: int, n_data: int, k: int
+) -> None:
+    for _ in range(k):
+        builder.add(
+            int(rng.integers(0, n_procs)), int(rng.integers(0, n_data))
+        )
+
+
+def code_workload(
+    n: int,
+    topology: Topology,
+    scheme: str = "row_wise",
+    intensity: int = 3,
+    noise: int = 1,
+    steps_per_window: int | None = None,
+    seed: int = 1998,
+    name: str = "code",
+) -> WorkloadInstance:
+    """Generate the CODE-substitute reference trace (see module docstring).
+
+    Parameters
+    ----------
+    intensity:
+        References each wavefront processor issues to its hot datum per
+        step; higher values reward data movement more strongly.
+    noise:
+        Uniformly random extra references per step (data-dependent
+        accesses); higher values blur the per-window local optima.
+    """
+    if n < 2:
+        raise ValueError("CODE needs at least a 2x2 datum universe")
+    if intensity < 1:
+        raise ValueError("intensity must be positive")
+    if noise < 0:
+        raise ValueError("noise must be non-negative")
+    owners = owner_map(scheme, n, n, topology)
+    ids = matrix_data_ids(n, n)
+    rng = np.random.default_rng(seed)
+    builder = TraceBuilder(n_procs=topology.n_procs, n_data=n * n)
+
+    # Phase 1: roaming wavefront gather.
+    for t in range(n):
+        proc_row = (5 * t + 2) % n
+        data_row = (3 * t + 1) % n
+        for j in range(n):
+            proc = int(owners[proc_row, j])
+            builder.add(proc, int(ids[data_row, j]), intensity)
+            builder.add(proc, int(ids[data_row, (j + 1) % n]))
+        _noise_refs(builder, rng, topology.n_procs, n * n, noise)
+        builder.end_step()
+    phase_boundary = builder.current_step
+
+    # Phase 2: skewed transpose sweep.
+    for t in range(n):
+        proc_row = (3 * t) % n
+        data_col = (7 * t + 4) % n
+        for i in range(n):
+            proc = int(owners[proc_row, i])
+            builder.add(proc, int(ids[i, data_col]), intensity)
+        _noise_refs(builder, rng, topology.n_procs, n * n, noise)
+        builder.end_step()
+
+    trace = builder.build()
+    if steps_per_window is None:
+        steps_per_window = max(1, n // 8)
+    boundaries = list(range(0, trace.n_steps, steps_per_window))
+    boundaries.append(phase_boundary)
+    windows = windows_from_boundaries(boundaries, trace.n_steps)
+    return WorkloadInstance(
+        name=name,
+        trace=trace,
+        windows=windows,
+        data_shape=(n, n),
+        topology=topology,
+    )
+
+
+def reversed_code_workload(
+    n: int,
+    topology: Topology,
+    scheme: str = "row_wise",
+    **kwargs,
+) -> WorkloadInstance:
+    """CODE executed in reverse step order (half of the paper's benchmark 5)."""
+    forward = code_workload(n, topology, scheme, name="code-rev", **kwargs)
+    reversed_steps = reverse_trace(forward.trace)
+    # Mirror the window boundaries: the old window [lo, hi) becomes
+    # [n_steps - hi, n_steps - lo), so boundaries map to n_steps - s.
+    n_steps = forward.trace.n_steps
+    mirrored = sorted({0} | {n_steps - int(s) for s in forward.windows.starts if s > 0})
+    windows = windows_from_boundaries(mirrored, n_steps)
+    return WorkloadInstance(
+        name="code-rev",
+        trace=reversed_steps,
+        windows=windows,
+        data_shape=forward.data_shape,
+        topology=topology,
+    )

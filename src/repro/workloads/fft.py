@@ -1,0 +1,56 @@
+"""Iterative radix-2 FFT butterfly workload (extended suite).
+
+A 1-D datum universe of ``n = 2^k`` elements.  Stage ``s`` pairs every
+index ``i`` with its partner ``i XOR 2^s``; the owner of the lower index
+computes both butterfly outputs, referencing both elements twice
+(read + write).  Early stages pair neighbours inside one owner's block
+(local), late stages pair across the whole array (every reference
+remote) — the canonical stride-doubling pattern, and a stress test for
+schedulers because *no* static layout is good for every stage.
+
+One parallel step and one execution window per stage.
+"""
+
+from __future__ import annotations
+
+from ..grid import Topology
+from ..trace import TraceBuilder, windows_by_step_count
+from .base import WorkloadInstance
+from .partition import owner_map
+
+__all__ = ["fft_workload"]
+
+
+def fft_workload(
+    n: int,
+    topology: Topology,
+    scheme: str = "row_wise",
+    name: str = "fft",
+) -> WorkloadInstance:
+    """Butterfly reference trace over ``n`` (a power of two) elements."""
+    if n < 2 or n & (n - 1):
+        raise ValueError("FFT size must be a power of two >= 2")
+    owners = owner_map(scheme, 1, n, topology).reshape(-1)
+    builder = TraceBuilder(n_procs=topology.n_procs, n_data=n)
+
+    stride = 1
+    while stride < n:
+        for i in range(n):
+            partner = i ^ stride
+            if partner < i:
+                continue  # each pair handled once, by its lower index
+            proc = int(owners[i])
+            builder.add(proc, i, 2)
+            builder.add(proc, partner, 2)
+        builder.end_step()
+        stride <<= 1
+
+    trace = builder.build()
+    windows = windows_by_step_count(trace, 1)  # one window per stage
+    return WorkloadInstance(
+        name=name,
+        trace=trace,
+        windows=windows,
+        data_shape=(n,),
+        topology=topology,
+    )

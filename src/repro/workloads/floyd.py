@@ -1,0 +1,58 @@
+"""Floyd-Warshall transitive closure workload (extended suite).
+
+All-pairs shortest paths over an ``n x n`` distance matrix: at outer
+iteration ``k`` the owner of ``(i, j)`` references ``D[i, j]``,
+``D[i, k]`` and ``D[k, j]``.  Structurally the LU update with the
+active region never shrinking: every window is equally heavy, but the
+hot row/column ``k`` sweeps the matrix — the pivot row and column are
+broadcast-like hot data whose best home moves every iteration.
+
+One parallel step and one window per ``k``.
+"""
+
+from __future__ import annotations
+
+from ..grid import Topology
+from ..trace import TraceBuilder, windows_by_step_count
+from .base import WorkloadInstance, matrix_data_ids
+from .partition import owner_map
+
+__all__ = ["floyd_workload"]
+
+
+def floyd_workload(
+    n: int,
+    topology: Topology,
+    scheme: str = "row_wise",
+    ks_per_window: int = 1,
+    name: str = "floyd",
+) -> WorkloadInstance:
+    """Floyd-Warshall reference trace over an ``n x n`` matrix."""
+    if n < 2:
+        raise ValueError("Floyd-Warshall needs at least a 2x2 matrix")
+    if ks_per_window < 1:
+        raise ValueError("ks_per_window must be positive")
+    owners = owner_map(scheme, n, n, topology)
+    ids = matrix_data_ids(n, n)
+    builder = TraceBuilder(n_procs=topology.n_procs, n_data=n * n)
+
+    for k in range(n):
+        for i in range(n):
+            d_ik = int(ids[i, k])
+            row_owner = owners[i]
+            for j in range(n):
+                proc = int(row_owner[j])
+                builder.add(proc, int(ids[i, j]))
+                builder.add(proc, d_ik)
+                builder.add(proc, int(ids[k, j]))
+        builder.end_step()
+
+    trace = builder.build()
+    windows = windows_by_step_count(trace, ks_per_window)
+    return WorkloadInstance(
+        name=name,
+        trace=trace,
+        windows=windows,
+        data_shape=(n, n),
+        topology=topology,
+    )

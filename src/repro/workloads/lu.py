@@ -1,0 +1,82 @@
+"""Benchmark 1: LU factorization (right-looking, no pivoting).
+
+The scheduled data are the ``n x n`` elements of the matrix ``A``.  At
+outer iteration ``k`` the kernel performs
+
+* the division step: ``A[i, k] /= A[k, k]`` for ``i > k`` — the owner of
+  ``(i, k)`` references ``A[i, k]`` and the pivot ``A[k, k]``;
+* the update step: ``A[i, j] -= A[i, k] * A[k, j]`` for ``i, j > k`` —
+  the owner of ``(i, j)`` references ``A[i, j]``, ``A[i, k]`` and
+  ``A[k, j]``.
+
+Each outer iteration contributes two parallel steps (division, then
+update, which depends on it) and one execution window — the benchmark's
+natural window structure.  The active region shrinks toward the
+bottom-right corner as ``k`` grows, so the reference locus *drifts*:
+exactly the behaviour that rewards multiple-center scheduling.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..grid import Topology
+from ..trace import TraceBuilder, windows_from_boundaries
+from .base import WorkloadInstance, matrix_data_ids
+from .partition import owner_map
+
+__all__ = ["lu_workload"]
+
+
+def lu_workload(
+    n: int,
+    topology: Topology,
+    scheme: str = "row_wise",
+    name: str = "lu",
+) -> WorkloadInstance:
+    """Generate the LU-factorization reference trace for an ``n x n`` matrix.
+
+    Parameters
+    ----------
+    n:
+        Matrix dimension (the paper's "Size" column: 8, 16, 32 ...).
+    topology:
+        Processor array executing the kernel.
+    scheme:
+        Iteration-partition scheme mapping the owner of element ``(i, j)``
+        (see :mod:`repro.workloads.partition`).
+    """
+    if n < 2:
+        raise ValueError("LU needs at least a 2x2 matrix")
+    owners = owner_map(scheme, n, n, topology)
+    ids = matrix_data_ids(n, n)
+    builder = TraceBuilder(n_procs=topology.n_procs, n_data=n * n)
+    boundaries = []
+
+    for k in range(n - 1):
+        boundaries.append(builder.current_step)
+        # Division step: column k below the pivot.
+        for i in range(k + 1, n):
+            proc = int(owners[i, k])
+            builder.add(proc, int(ids[i, k]))
+            builder.add(proc, int(ids[k, k]))
+        builder.end_step()
+        # Update step: the trailing (n-k-1)^2 submatrix.
+        for i in range(k + 1, n):
+            row_owner = owners[i]
+            for j in range(k + 1, n):
+                proc = int(row_owner[j])
+                builder.add(proc, int(ids[i, j]))
+                builder.add(proc, int(ids[i, k]))
+                builder.add(proc, int(ids[k, j]))
+        builder.end_step()
+
+    trace = builder.build()
+    windows = windows_from_boundaries(boundaries, trace.n_steps)
+    return WorkloadInstance(
+        name=name,
+        trace=trace,
+        windows=windows,
+        data_shape=(n, n),
+        topology=topology,
+    )

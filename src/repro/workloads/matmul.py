@@ -1,0 +1,60 @@
+"""Benchmark 2: matrix square ``B = A * A``.
+
+The scheduled data are the elements of ``A``; the output ``B`` is
+accumulated locally by each element's owner and never communicated, so
+only ``A`` generates references.  The kernel is executed in rank-1-update
+order: at parallel step ``k`` every owner of an output element ``(i, j)``
+references ``A[i, k]`` and ``A[k, j]``.  Step ``k``'s hot set is column
+``k`` and row ``k`` of ``A`` — a locus that sweeps across the matrix, so
+per-window optimal centers trace a moving diagonal.
+
+Windows group ``ks_per_window`` consecutive ``k`` steps (default sized so
+the benchmark has about eight windows, mirroring the granularity of the
+LU benchmark's outer-loop windows).
+"""
+
+from __future__ import annotations
+
+from ..grid import Topology
+from ..trace import TraceBuilder, windows_by_step_count
+from .base import WorkloadInstance, matrix_data_ids
+from .partition import owner_map
+
+__all__ = ["matmul_workload"]
+
+
+def matmul_workload(
+    n: int,
+    topology: Topology,
+    scheme: str = "row_wise",
+    ks_per_window: int | None = None,
+    name: str = "matsq",
+) -> WorkloadInstance:
+    """Generate the matrix-square reference trace for an ``n x n`` matrix."""
+    if n < 2:
+        raise ValueError("matrix square needs at least a 2x2 matrix")
+    owners = owner_map(scheme, n, n, topology)
+    ids = matrix_data_ids(n, n)
+    builder = TraceBuilder(n_procs=topology.n_procs, n_data=n * n)
+
+    for k in range(n):
+        for i in range(n):
+            a_ik = int(ids[i, k])
+            row_owner = owners[i]
+            for j in range(n):
+                proc = int(row_owner[j])
+                builder.add(proc, a_ik)
+                builder.add(proc, int(ids[k, j]))
+        builder.end_step()
+
+    trace = builder.build()
+    if ks_per_window is None:
+        ks_per_window = max(1, n // 8)
+    windows = windows_by_step_count(trace, ks_per_window)
+    return WorkloadInstance(
+        name=name,
+        trace=trace,
+        windows=windows,
+        data_shape=(n, n),
+        topology=topology,
+    )

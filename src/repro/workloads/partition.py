@@ -1,0 +1,109 @@
+"""Iteration partitioning: mapping iterations (and elements) to processors.
+
+"In the PIM array, two stages are prepared before the execution of the
+program: the iteration partition and the data scheduling."  The paper
+treats the iteration partition as a given prior stage; we implement the
+standard owner-computes maps so workload generators can ask *which
+processor executes iteration (i, j)*.  The same maps double as static
+data-distribution baselines in :mod:`repro.distrib`.
+
+All maps return an ``(n_rows, n_cols)`` int64 array of pids.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..grid import Mesh2D, Topology
+
+__all__ = [
+    "row_wise_owners",
+    "column_wise_owners",
+    "block_owners",
+    "block_cyclic_owners",
+    "owner_map",
+    "PARTITION_SCHEMES",
+]
+
+
+def _check(n_rows: int, n_cols: int, n_procs: int) -> None:
+    if n_rows < 1 or n_cols < 1:
+        raise ValueError("matrix extents must be positive")
+    if n_procs < 1:
+        raise ValueError("need at least one processor")
+
+
+def row_wise_owners(n_rows: int, n_cols: int, topology: Topology) -> np.ndarray:
+    """Contiguous row-major blocks of elements — the paper's S.F. scheme.
+
+    Element ``(i, j)`` (flattened row-major) goes to processor
+    ``flat_index // ceil(n_elements / n_procs)``: the first processor gets
+    the first rows, and so on.
+    """
+    n_procs = topology.n_procs
+    _check(n_rows, n_cols, n_procs)
+    n_elements = n_rows * n_cols
+    block = -(-n_elements // n_procs)  # ceil division
+    flat = np.arange(n_elements, dtype=np.int64) // block
+    return flat.reshape(n_rows, n_cols)
+
+
+def column_wise_owners(n_rows: int, n_cols: int, topology: Topology) -> np.ndarray:
+    """Contiguous column-major blocks (the transpose of row-wise)."""
+    return row_wise_owners(n_cols, n_rows, topology).T
+
+
+def block_owners(n_rows: int, n_cols: int, topology: Topology) -> np.ndarray:
+    """2-D block decomposition onto a 2-D mesh.
+
+    The matrix is cut into ``mesh.rows x mesh.cols`` rectangular tiles and
+    tile ``(r, c)`` lives on processor ``(r, c)``.  Requires a
+    :class:`~repro.grid.Mesh2D`-shaped topology.
+    """
+    if len(topology.shape) != 2:
+        raise ValueError("block partitioning needs a 2-D processor array")
+    mesh_rows, mesh_cols = topology.shape
+    _check(n_rows, n_cols, topology.n_procs)
+    row_of = np.minimum(np.arange(n_rows) * mesh_rows // n_rows, mesh_rows - 1)
+    col_of = np.minimum(np.arange(n_cols) * mesh_cols // n_cols, mesh_cols - 1)
+    return (row_of[:, None] * mesh_cols + col_of[None, :]).astype(np.int64)
+
+
+def block_cyclic_owners(
+    n_rows: int, n_cols: int, topology: Topology, block: int = 1
+) -> np.ndarray:
+    """2-D block-cyclic decomposition with square blocks of size ``block``.
+
+    Block ``(bi, bj)`` maps to processor ``(bi mod P_r, bj mod P_c)`` — the
+    distribution targeted by the redistribution literature the paper cites
+    ([1], [2], [4]).
+    """
+    if len(topology.shape) != 2:
+        raise ValueError("block-cyclic partitioning needs a 2-D processor array")
+    if block < 1:
+        raise ValueError("block size must be positive")
+    mesh_rows, mesh_cols = topology.shape
+    _check(n_rows, n_cols, topology.n_procs)
+    row_of = (np.arange(n_rows) // block) % mesh_rows
+    col_of = (np.arange(n_cols) // block) % mesh_cols
+    return (row_of[:, None] * mesh_cols + col_of[None, :]).astype(np.int64)
+
+
+PARTITION_SCHEMES = {
+    "row_wise": row_wise_owners,
+    "column_wise": column_wise_owners,
+    "block": block_owners,
+    "block_cyclic": block_cyclic_owners,
+}
+
+
+def owner_map(
+    scheme: str, n_rows: int, n_cols: int, topology: Topology, **kwargs
+) -> np.ndarray:
+    """Dispatch to a partition scheme by name."""
+    try:
+        fn = PARTITION_SCHEMES[scheme]
+    except KeyError:
+        known = ", ".join(sorted(PARTITION_SCHEMES))
+        raise KeyError(f"unknown partition scheme {scheme!r}; known: {known}") from None
+    return fn(n_rows, n_cols, topology, **kwargs)

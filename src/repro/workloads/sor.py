@@ -1,0 +1,64 @@
+"""Red-black SOR (successive over-relaxation) workload (extended suite).
+
+The classic 5-point stencil relaxation on an ``n x n`` grid: each sweep
+updates the red cells then the black cells; updating cell ``(i, j)``
+references itself and its four in-grid neighbours.  With a 2-D block
+layout almost everything is local; with strip layouts every row of the
+stencil pays halo traffic — the benchmark where a good *static*
+placement already wins and movement buys little (the opposite regime
+from the FFT), useful for checking that the movement-aware schedulers
+do not move gratuitously.
+
+Two parallel steps (red, black) per sweep; one window per sweep.
+"""
+
+from __future__ import annotations
+
+from ..grid import Topology
+from ..trace import TraceBuilder, windows_by_step_count
+from .base import WorkloadInstance, matrix_data_ids
+from .partition import owner_map
+
+__all__ = ["sor_workload"]
+
+_STENCIL = ((0, 0), (1, 0), (-1, 0), (0, 1), (0, -1))
+
+
+def sor_workload(
+    n: int,
+    topology: Topology,
+    sweeps: int = 4,
+    scheme: str = "block",
+    name: str = "sor",
+) -> WorkloadInstance:
+    """Red-black SOR reference trace (``sweeps`` full sweeps)."""
+    if n < 2:
+        raise ValueError("SOR needs at least a 2x2 grid")
+    if sweeps < 1:
+        raise ValueError("need at least one sweep")
+    owners = owner_map(scheme, n, n, topology)
+    ids = matrix_data_ids(n, n)
+    builder = TraceBuilder(n_procs=topology.n_procs, n_data=n * n)
+
+    for _sweep in range(sweeps):
+        for color in (0, 1):
+            for i in range(n):
+                for j in range(n):
+                    if (i + j) % 2 != color:
+                        continue
+                    proc = int(owners[i, j])
+                    for di, dj in _STENCIL:
+                        ni, nj = i + di, j + dj
+                        if 0 <= ni < n and 0 <= nj < n:
+                            builder.add(proc, int(ids[ni, nj]))
+            builder.end_step()
+
+    trace = builder.build()
+    windows = windows_by_step_count(trace, 2)  # one window per sweep
+    return WorkloadInstance(
+        name=name,
+        trace=trace,
+        windows=windows,
+        data_shape=(n, n),
+        topology=topology,
+    )

@@ -1,0 +1,140 @@
+"""Synthetic reference-string generators.
+
+Controlled-randomness workloads used by tests, property-based checks and
+ablation studies: patterns with known structure (uniform noise, static
+hot spot, drifting hot spot) whose scheduling behaviour is predictable —
+e.g. a drifting hot spot *must* reward multiple-center scheduling, while
+uniform noise must not.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..grid import Topology
+from ..trace import Trace, TraceBuilder, WindowSet, windows_by_step_count
+from .base import WorkloadInstance
+
+__all__ = [
+    "uniform_random_workload",
+    "hotspot_workload",
+    "drifting_hotspot_workload",
+    "trace_from_counts",
+]
+
+
+def _finish(
+    name: str,
+    builder: TraceBuilder,
+    topology: Topology,
+    n_data: int,
+    steps_per_window: int,
+) -> WorkloadInstance:
+    trace = builder.build()
+    windows = windows_by_step_count(trace, steps_per_window)
+    return WorkloadInstance(
+        name=name,
+        trace=trace,
+        windows=windows,
+        data_shape=(n_data,),
+        topology=topology,
+    )
+
+
+def uniform_random_workload(
+    topology: Topology,
+    n_data: int,
+    n_steps: int = 16,
+    refs_per_step: int = 32,
+    steps_per_window: int = 4,
+    seed: int = 0,
+) -> WorkloadInstance:
+    """References drawn uniformly over (processor, datum) pairs."""
+    rng = np.random.default_rng(seed)
+    builder = TraceBuilder(n_procs=topology.n_procs, n_data=n_data)
+    for _ in range(n_steps):
+        procs = rng.integers(0, topology.n_procs, size=refs_per_step)
+        data = rng.integers(0, n_data, size=refs_per_step)
+        for p, d in zip(procs, data):
+            builder.add(int(p), int(d))
+        builder.end_step()
+    return _finish("uniform", builder, topology, n_data, steps_per_window)
+
+
+def hotspot_workload(
+    topology: Topology,
+    n_data: int,
+    hot_proc: int = 0,
+    n_steps: int = 16,
+    refs_per_step: int = 32,
+    hot_fraction: float = 0.8,
+    steps_per_window: int = 4,
+    seed: int = 0,
+) -> WorkloadInstance:
+    """Most references issued by one processor (a static spatial hot spot).
+
+    Every scheduler should pull data toward ``hot_proc``; the optimal
+    schedule is essentially static.
+    """
+    if not 0.0 <= hot_fraction <= 1.0:
+        raise ValueError("hot_fraction must be in [0, 1]")
+    rng = np.random.default_rng(seed)
+    builder = TraceBuilder(n_procs=topology.n_procs, n_data=n_data)
+    for _ in range(n_steps):
+        for _ in range(refs_per_step):
+            if rng.random() < hot_fraction:
+                proc = hot_proc
+            else:
+                proc = int(rng.integers(0, topology.n_procs))
+            builder.add(proc, int(rng.integers(0, n_data)))
+        builder.end_step()
+    return _finish("hotspot", builder, topology, n_data, steps_per_window)
+
+
+def drifting_hotspot_workload(
+    topology: Topology,
+    n_data: int,
+    n_steps: int = 16,
+    refs_per_step: int = 32,
+    hot_fraction: float = 0.8,
+    steps_per_window: int = 2,
+    seed: int = 0,
+) -> WorkloadInstance:
+    """The hot processor walks across the array over time.
+
+    The canonical case where multiple-center scheduling beats any static
+    placement: each window's optimal center follows the drift.
+    """
+    rng = np.random.default_rng(seed)
+    builder = TraceBuilder(n_procs=topology.n_procs, n_data=n_data)
+    for step in range(n_steps):
+        hot_proc = (step * topology.n_procs) // max(n_steps, 1) % topology.n_procs
+        for _ in range(refs_per_step):
+            if rng.random() < hot_fraction:
+                proc = hot_proc
+            else:
+                proc = int(rng.integers(0, topology.n_procs))
+            builder.add(proc, int(rng.integers(0, n_data)))
+        builder.end_step()
+    return _finish("drift", builder, topology, n_data, steps_per_window)
+
+
+def trace_from_counts(counts: np.ndarray, topology: Topology) -> tuple[Trace, WindowSet]:
+    """Build a one-step-per-window trace realizing a given ``R[d, w, p]``.
+
+    Used by property-based tests to turn arbitrary hypothesis-generated
+    reference tensors into real traces (windows are single steps).
+    """
+    counts = np.asarray(counts, dtype=np.int64)
+    n_data, n_windows, n_procs = counts.shape
+    if n_procs != topology.n_procs:
+        raise ValueError("counts do not match the topology")
+    builder = TraceBuilder(n_procs=n_procs, n_data=n_data)
+    for w in range(n_windows):
+        d_idx, p_idx = np.nonzero(counts[:, w, :])
+        for d, p in zip(d_idx, p_idx):
+            builder.add(int(p), int(d), int(counts[d, w, p]))
+        builder.end_step()
+    trace = builder.build()
+    windows = windows_by_step_count(trace, 1)
+    return trace, windows

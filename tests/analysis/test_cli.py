@@ -1,0 +1,78 @@
+"""CLI smoke tests (small configurations through the real entry point)."""
+
+import pytest
+
+from repro.cli import main
+
+
+def run(capsys, *argv):
+    assert main(list(argv)) == 0
+    return capsys.readouterr().out
+
+
+def test_figure1(capsys):
+    out = run(capsys, "figure1")
+    assert "SCDS" in out and "GOMCDS" in out
+    assert "cost" in out
+
+
+def test_table1_fast(capsys):
+    out = run(capsys, "table1", "--fast", "--benchmarks", "1", "--sizes", "8")
+    assert "Table 1" in out
+    assert "8x8" in out
+    assert "avg" in out
+
+
+def test_table2_custom_mesh(capsys):
+    out = run(
+        capsys, "table2", "--benchmarks", "1", "--sizes", "8", "--mesh", "2", "2"
+    )
+    assert "2x2" in out
+
+
+def test_capacity_multiplier_flag(capsys):
+    out = run(
+        capsys,
+        "table1",
+        "--benchmarks",
+        "2",
+        "--sizes",
+        "8",
+        "--capacity-multiplier",
+        "4.0",
+    )
+    assert "Table 1" in out
+
+
+def test_requires_subcommand():
+    with pytest.raises(SystemExit):
+        main([])
+
+
+def test_unknown_subcommand():
+    with pytest.raises(SystemExit):
+        main(["tablex"])
+
+
+def test_extended_command(capsys):
+    out = run(capsys, "extended")
+    assert "Extended suite" in out
+    assert "fft" not in out  # table shows sizes, not names, in rows
+    assert "256" in out
+
+
+def test_all_ablation_commands(capsys):
+    for command in (
+        "ablation-window",
+        "ablation-array",
+        "ablation-memory",
+        "ablation-grouping",
+        "ablation-partition",
+        "ablation-online",
+        "ablation-replication",
+        "ablation-refine",
+        "ablation-segmentation",
+        "ablation-static",
+    ):
+        out = run(capsys, command)
+        assert out.strip(), command

@@ -1,0 +1,97 @@
+"""Experiment-harness tests (small configurations)."""
+
+import pytest
+
+from repro.analysis import (
+    ablation_array_size,
+    ablation_grouping_strategy,
+    ablation_memory_pressure,
+    ablation_window_size,
+    run_figure1,
+    run_table1,
+    run_table2,
+)
+
+
+class TestFigure1:
+    def test_scheduler_ordering(self):
+        r = run_figure1()
+        # the paper's story: single center worst, global movement best
+        assert r.gomcds_cost <= r.lomcds_cost < r.scds_cost
+
+    def test_lomcds_chases_every_window(self):
+        r = run_figure1()
+        # LOMCDS jumps to the east edge in window 1; GOMCDS does not
+        assert r.lomcds_centers[1] == (1, 3)
+        assert r.gomcds_centers[1] != (1, 3)
+
+    def test_known_costs(self):
+        r = run_figure1()
+        assert r.scds_cost == 20.0
+        assert r.lomcds_cost == 16.0
+        assert r.gomcds_cost == 13.0
+
+
+class TestTables:
+    @pytest.fixture(scope="class")
+    def table1(self):
+        return run_table1(sizes=(8,), benchmarks=(1, 2, 5))
+
+    @pytest.fixture(scope="class")
+    def table2(self):
+        return run_table2(sizes=(8,), benchmarks=(1, 2, 5))
+
+    def test_table1_shape(self, table1):
+        assert len(table1.rows) == 3
+        assert table1.scheduler_names == ("SCDS", "LOMCDS", "GOMCDS")
+
+    def test_gomcds_always_at_least_ties_scds(self, table1):
+        for row in table1.rows:
+            assert row.result_for("GOMCDS").cost <= row.result_for("SCDS").cost
+
+    def test_schedulers_never_lose_to_sf_overall(self, table1):
+        # GOMCDS beats the straight-forward baseline on every benchmark
+        for row in table1.rows:
+            assert row.result_for("GOMCDS").improvement >= 0
+
+    def test_table2_grouping_helps_lomcds(self, table1, table2):
+        for r1, r2 in zip(table1.rows, table2.rows):
+            assert r2.result_for("LOMCDS").cost <= r1.result_for("LOMCDS").cost
+
+    def test_table2_scds_column_unchanged(self, table1, table2):
+        # SCDS is grouping-invariant
+        for r1, r2 in zip(table1.rows, table2.rows):
+            assert r1.result_for("SCDS").cost == r2.result_for("SCDS").cost
+
+
+class TestAblations:
+    def test_window_size_rows(self):
+        rows = ablation_window_size(bench=1, n=8, steps_per_window=(1, 4))
+        assert [r["steps_per_window"] for r in rows] == [1, 4]
+        for row in rows:
+            assert row["GOMCDS"] <= row["SCDS"]
+
+    def test_finer_windows_never_hurt_gomcds(self):
+        rows = ablation_window_size(bench=1, n=8, steps_per_window=(1, 2, 4, 14))
+        costs = [r["GOMCDS"] for r in rows]
+        assert costs == sorted(costs)  # refining windows only helps GOMCDS
+
+    def test_array_size_rows(self):
+        rows = ablation_array_size(bench=1, n=8, meshes=((2, 2), (4, 4)))
+        assert rows[0]["mesh"] == "2x2"
+        assert all(r["GOMCDS"] <= r["sf"] for r in rows)
+
+    def test_memory_pressure_monotone_for_gomcds(self):
+        rows = ablation_memory_pressure(bench=1, n=8, multipliers=(1.0, 2.0, 4.0))
+        costs = [r["GOMCDS"] for r in rows]
+        # looser memory can only help (ties allowed)
+        assert costs[0] >= costs[-1]
+
+    def test_grouping_strategy_ordering(self):
+        out = ablation_grouping_strategy(bench=5, n=8)
+        assert (
+            out["GOMCDS bound"]
+            <= out["optimal grouping"]
+            <= out["greedy grouping"]
+        )
+        assert out["greedy grouping"] <= out["LOMCDS (no grouping)"]

@@ -1,0 +1,37 @@
+"""CSV export tests."""
+
+import csv
+
+from repro.analysis import (
+    ablation_window_size,
+    rows_to_csv,
+    run_table1,
+    table_to_csv,
+)
+
+
+def test_table_csv_roundtrip(tmp_path):
+    table = run_table1(sizes=(8,), benchmarks=(1,))
+    path = table_to_csv(table, tmp_path / "t1.csv")
+    with path.open() as fh:
+        rows = list(csv.DictReader(fh))
+    assert len(rows) == 1
+    row = rows[0]
+    assert row["name"] == "lu"
+    assert row["size"] == "8x8"
+    assert float(row["SCDS_cost"]) > 0
+    assert float(row["GOMCDS_cost"]) <= float(row["SCDS_cost"])
+
+
+def test_rows_csv(tmp_path):
+    sweep = ablation_window_size(bench=1, n=8, steps_per_window=(1, 4))
+    path = rows_to_csv(sweep, tmp_path / "sweep.csv")
+    with path.open() as fh:
+        rows = list(csv.DictReader(fh))
+    assert len(rows) == 2
+    assert rows[0]["steps_per_window"] == "1"
+
+
+def test_empty_rows(tmp_path):
+    path = rows_to_csv([], tmp_path / "empty.csv")
+    assert path.read_text() == ""

@@ -1,0 +1,66 @@
+"""ASCII heatmap rendering tests."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import render_heatmap, render_numeric_grid
+from repro.grid import Mesh1D, Mesh2D, Torus2D
+
+
+def test_2d_shape(mesh44):
+    out = render_heatmap(np.arange(16), mesh44, title="demo")
+    lines = out.splitlines()
+    assert lines[0] == "demo"
+    assert len(lines) == 5  # title + 4 rows
+    assert all(len(line) == 6 for line in lines[1:])  # |....|
+
+
+def test_extremes_use_extreme_shades(mesh44):
+    values = np.zeros(16)
+    values[15] = 10.0
+    out = render_heatmap(values, mesh44)
+    assert "█" in out.splitlines()[-1]
+    assert "█" not in out.splitlines()[0]
+
+
+def test_all_zero_renders_blank(mesh44):
+    out = render_heatmap(np.zeros(16), mesh44)
+    assert "█" not in out
+
+
+def test_1d_single_row():
+    out = render_heatmap(np.arange(5), Mesh1D(5))
+    assert len(out.splitlines()) == 1
+
+
+def test_torus_supported():
+    out = render_heatmap(np.arange(16), Torus2D(4, 4))
+    assert len(out.splitlines()) == 4
+
+
+def test_wrong_length_rejected(mesh44):
+    with pytest.raises(ValueError):
+        render_heatmap(np.arange(5), mesh44)
+
+
+def test_3d_topology_rejected():
+    class Fake:
+        n_procs = 8
+        shape = (2, 2, 2)
+
+    with pytest.raises(ValueError):
+        render_heatmap(np.arange(8), Fake())
+
+
+def test_numeric_grid_values_present(mesh44):
+    values = np.arange(16.0)
+    out = render_numeric_grid(values, mesh44, title="occ")
+    assert "occ" in out
+    assert "15" in out
+    assert len(out.splitlines()) == 5
+
+
+def test_numeric_grid_alignment(mesh44):
+    out = render_numeric_grid(np.arange(16), mesh44, width=4)
+    rows = out.splitlines()
+    assert all(len(r) == 16 for r in rows)

@@ -1,0 +1,28 @@
+"""Report-generator tests (fast configuration)."""
+
+from repro.analysis import generate_report, write_report
+
+
+def test_report_contains_all_sections(tmp_path):
+    report = generate_report(sizes=(8,), include_ablations=False)
+    assert "# Measured results" in report
+    assert "## Figure 1" in report
+    assert "## Table 1" in report
+    assert "## Table 2" in report
+    assert "## Extended suite" in report
+    assert "Ablation" not in report  # disabled
+
+
+def test_write_report_roundtrip(tmp_path):
+    path = write_report(tmp_path / "report.md", sizes=(8,), include_ablations=False)
+    text = path.read_text()
+    assert "## Table 1" in text
+    assert text.endswith("\n")
+
+
+def test_markdown_tables_well_formed(tmp_path):
+    report = generate_report(sizes=(8,), include_ablations=False)
+    table_lines = [l for l in report.splitlines() if l.startswith("|")]
+    assert table_lines, "expected at least one markdown table"
+    # each table line has a consistent cell count within its block
+    assert all(l.count("|") >= 3 for l in table_lines)

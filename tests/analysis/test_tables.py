@@ -1,0 +1,75 @@
+"""Table assembly and rendering tests."""
+
+import pytest
+
+from repro.analysis import (
+    SchedulerResult,
+    Table,
+    TableRow,
+    percent_improvement,
+    render_markdown_table,
+    render_table,
+)
+
+
+def make_row(bench=1, size="8x8", sf=100.0, costs=(80.0, 70.0)):
+    results = tuple(
+        SchedulerResult(name, c, percent_improvement(sf, c))
+        for name, c in zip(("A", "B"), costs)
+    )
+    return TableRow(bench, "lu", size, sf, results)
+
+
+def test_percent_improvement():
+    assert percent_improvement(100, 70) == 30.0
+    assert percent_improvement(100, 100) == 0.0
+    assert percent_improvement(100, 120) == -20.0
+    assert percent_improvement(0, 5) == 0.0  # degenerate baseline
+
+
+def test_row_lookup():
+    row = make_row()
+    assert row.result_for("A").cost == 80.0
+    with pytest.raises(KeyError):
+        row.result_for("C")
+
+
+def test_table_average():
+    table = Table(title="t", scheduler_names=("A", "B"))
+    table.add(make_row(costs=(80.0, 70.0)))
+    table.add(make_row(costs=(60.0, 50.0)))
+    assert table.average_improvement("A") == pytest.approx(30.0)
+    assert table.average_improvement("B") == pytest.approx(40.0)
+    assert table.best_scheduler() == "B"
+
+
+def test_table_rejects_mismatched_columns():
+    table = Table(title="t", scheduler_names=("A", "Z"))
+    with pytest.raises(KeyError):
+        table.add(make_row())
+
+
+def test_render_contains_all_cells():
+    table = Table(title="My Table", scheduler_names=("A", "B"))
+    table.add(make_row())
+    text = render_table(table)
+    assert "My Table" in text
+    assert "8x8" in text
+    assert "80" in text and "70" in text
+    assert "30.0" in text
+    assert "avg" in text
+
+
+def test_render_markdown_shape():
+    table = Table(title="T", scheduler_names=("A", "B"))
+    table.add(make_row())
+    md = render_markdown_table(table)
+    lines = [line for line in md.splitlines() if line.startswith("|")]
+    # header + separator + 1 row + avg
+    assert len(lines) == 4
+    assert all(line.count("|") == lines[0].count("|") for line in lines)
+
+
+def test_empty_table_average():
+    table = Table(title="t", scheduler_names=("A",))
+    assert table.average_improvement("A") == 0.0

@@ -1,0 +1,61 @@
+"""Trajectory-rendering tests."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import render_trajectory, trajectory_summary
+from repro.core import Schedule
+from repro.grid import Mesh1D, Mesh2D
+from repro.trace import windows_by_step_count
+
+
+@pytest.fixture
+def roaming_schedule(mesh44):
+    windows = windows_by_step_count(8, 2)  # 4 windows
+    centers = np.array(
+        [
+            [mesh44.pid(1, 0), mesh44.pid(1, 3), mesh44.pid(1, 0), mesh44.pid(2, 2)],
+            [0, 0, 0, 0],
+        ]
+    )
+    return Schedule(centers=centers, windows=windows)
+
+
+def test_render_marks_window_indices(roaming_schedule, mesh44):
+    out = render_trajectory(roaming_schedule, 0, mesh44, title="datum 0")
+    lines = out.splitlines()
+    assert lines[0] == "datum 0"
+    assert len(lines) == 5
+    # window 2 overwrote window 0 at (1, 0); window 1 at (1, 3)
+    assert lines[2][0] == "2"
+    assert lines[2][3] == "1"
+    assert lines[3][2] == "3"
+    assert lines[1] == "...."
+
+
+def test_render_static_datum(roaming_schedule, mesh44):
+    out = render_trajectory(roaming_schedule, 1, mesh44)
+    assert out.splitlines()[0][0] == "3"  # last window's mark
+    assert out.count(".") == 15
+
+
+def test_summary(roaming_schedule, mesh44):
+    summary = trajectory_summary(roaming_schedule, 0, mesh44)
+    assert summary["moves"] == 3
+    assert summary["distinct_homes"] == 3
+    # 3 + 3 + 3 hops of travel
+    assert summary["hops_traveled"] == 9
+    assert summary["centers"][0] == (1, 0)
+
+
+def test_static_summary(roaming_schedule, mesh44):
+    summary = trajectory_summary(roaming_schedule, 1, mesh44)
+    assert summary["moves"] == 0
+    assert summary["hops_traveled"] == 0
+
+
+def test_validation(roaming_schedule, mesh44):
+    with pytest.raises(ValueError):
+        render_trajectory(roaming_schedule, 5, mesh44)
+    with pytest.raises(ValueError):
+        render_trajectory(roaming_schedule, 0, Mesh1D(16))

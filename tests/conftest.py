@@ -1,0 +1,83 @@
+"""Shared fixtures: small machines, models and workloads."""
+
+import numpy as np
+import pytest
+
+from repro.core import CostModel
+from repro.grid import Mesh1D, Mesh2D, Torus2D
+from repro.mem import CapacityPlan
+from repro.trace import build_reference_tensor
+from repro.workloads import (
+    drifting_hotspot_workload,
+    lu_workload,
+    trace_from_counts,
+)
+
+
+@pytest.fixture
+def mesh44():
+    return Mesh2D(4, 4)
+
+
+@pytest.fixture
+def mesh23():
+    return Mesh2D(2, 3)
+
+
+@pytest.fixture
+def line8():
+    return Mesh1D(8)
+
+
+@pytest.fixture
+def torus44():
+    return Torus2D(4, 4)
+
+
+@pytest.fixture
+def model44(mesh44):
+    return CostModel(mesh44)
+
+
+@pytest.fixture
+def lu8(mesh44):
+    """LU factorization of an 8x8 matrix on the paper's 4x4 array."""
+    return lu_workload(8, mesh44)
+
+
+@pytest.fixture
+def lu8_tensor(lu8):
+    return lu8.reference_tensor()
+
+
+@pytest.fixture
+def paper_capacity(lu8, mesh44):
+    return CapacityPlan.paper_rule(lu8.n_data, mesh44.n_procs)
+
+
+@pytest.fixture
+def drift(mesh44):
+    """A drifting-hotspot workload where data movement clearly pays."""
+    return drifting_hotspot_workload(mesh44, n_data=12, n_steps=8, seed=3)
+
+
+def make_tensor(counts, topology):
+    """Tensor + trace for explicit (D, W, m) reference counts."""
+    counts = np.asarray(counts, dtype=np.int64)
+    trace, windows = trace_from_counts(counts, topology)
+    return build_reference_tensor(trace, windows), trace
+
+
+@pytest.fixture
+def tiny_tensor(mesh23):
+    """2 data, 3 windows, 6 procs — small enough to verify by hand."""
+    counts = np.zeros((2, 3, 6), dtype=np.int64)
+    # datum 0: drifts from proc 0 to proc 5
+    counts[0, 0, 0] = 3
+    counts[0, 1, 2] = 2
+    counts[0, 2, 5] = 3
+    # datum 1: always hottest at proc 4
+    counts[1, :, 4] = 2
+    counts[1, 0, 1] = 1
+    tensor, _trace = make_tensor(counts, mesh23)
+    return tensor

@@ -1,0 +1,88 @@
+"""CostModel unit tests."""
+
+import numpy as np
+import pytest
+
+from repro.core import CostModel
+from repro.grid import Mesh1D, Mesh2D
+
+
+class TestPlacementCosts:
+    def test_hand_computed_1d(self):
+        model = CostModel(Mesh1D(4))
+        # 2 refs at proc 0, 1 ref at proc 3
+        counts = np.array([[2, 0, 0, 1]])
+        costs = model.placement_costs(counts)
+        # cost(c) = 2|c-0| + |c-3|
+        assert costs[0].tolist() == [3.0, 4.0, 5.0, 6.0]
+
+    def test_accepts_1d_row(self):
+        model = CostModel(Mesh1D(3))
+        costs = model.placement_costs(np.array([1, 0, 0]))
+        assert costs.shape == (1, 3)
+        assert costs[0].tolist() == [0.0, 1.0, 2.0]
+
+    def test_zero_references_zero_cost(self, model44):
+        costs = model44.placement_costs(np.zeros((2, 16)))
+        assert not costs.any()
+
+    def test_rejects_wrong_width(self, model44):
+        with pytest.raises(ValueError):
+            model44.placement_costs(np.ones((2, 5)))
+
+    def test_all_placement_costs_matches_per_datum(self, tiny_tensor, mesh23):
+        model = CostModel(mesh23)
+        full = model.all_placement_costs(tiny_tensor)
+        assert full.shape == (2, 3, 6)
+        for d in range(2):
+            expected = model.placement_costs(tiny_tensor.for_data(d), d)
+            assert np.allclose(full[d], expected)
+
+    def test_all_placement_costs_rejects_other_array(self, tiny_tensor):
+        model = CostModel(Mesh2D(4, 4))
+        with pytest.raises(ValueError):
+            model.all_placement_costs(tiny_tensor)
+
+
+class TestVolumes:
+    def test_volume_scales_costs(self):
+        topo = Mesh1D(3)
+        unit = CostModel(topo)
+        heavy = CostModel(topo, volumes=np.array([2.0, 5.0]))
+        counts = np.array([[1, 0, 0]])
+        assert np.allclose(
+            heavy.placement_costs(counts, d=1), 5 * unit.placement_costs(counts)
+        )
+
+    def test_volume_lookup(self):
+        model = CostModel(Mesh1D(3), volumes=np.array([2.0, 5.0]))
+        assert model.volume(0) == 2.0
+        assert model.volume(1) == 5.0
+        assert CostModel(Mesh1D(3)).volume(7) == 1.0
+
+    def test_movement_cost(self):
+        model = CostModel(Mesh1D(5), volumes=np.array([3.0]))
+        assert model.movement_cost(0, 0, 4) == 12.0
+        assert model.movement_cost(0, 2, 2) == 0.0
+
+    def test_movement_cost_matrix(self):
+        model = CostModel(Mesh1D(3), volumes=np.array([2.0]))
+        assert np.array_equal(
+            model.movement_cost_matrix(0), 2.0 * model.distances
+        )
+        # unit model ignores d
+        assert np.array_equal(
+            CostModel(Mesh1D(3)).movement_cost_matrix(0),
+            CostModel(Mesh1D(3)).distances,
+        )
+
+    def test_volume_validation(self):
+        with pytest.raises(ValueError):
+            CostModel(Mesh1D(3), volumes=np.array([0.0, 1.0]))
+        with pytest.raises(ValueError):
+            CostModel(Mesh1D(3), volumes=np.zeros((2, 2)))
+
+    def test_volume_count_mismatch_caught(self, tiny_tensor, mesh23):
+        model = CostModel(mesh23, volumes=np.array([1.0, 1.0, 1.0]))
+        with pytest.raises(ValueError):
+            model.all_placement_costs(tiny_tensor)

@@ -1,0 +1,97 @@
+"""Analytic evaluator unit tests (hand-computed costs)."""
+
+import numpy as np
+import pytest
+
+from repro.core import CostModel, Schedule, evaluate_schedule, per_datum_costs
+from repro.grid import Mesh1D, Mesh2D
+from repro.trace import build_reference_tensor
+from repro.workloads import trace_from_counts
+
+
+def make(counts, topo):
+    trace, windows = trace_from_counts(np.asarray(counts, dtype=np.int64), topo)
+    return build_reference_tensor(trace, windows), windows
+
+
+class TestHandComputed:
+    def test_static_1d(self):
+        topo = Mesh1D(4)
+        # datum 0: window 0 refs 2x at proc 0; window 1 refs 1x at proc 3
+        tensor, windows = make([[[2, 0, 0, 0], [0, 0, 0, 1]]], topo)
+        sched = Schedule.static(np.array([1]), windows)
+        out = evaluate_schedule(sched, tensor, CostModel(topo))
+        # refs: 2*|1-0| + 1*|1-3| = 4; no movement
+        assert out.reference_cost == 4.0
+        assert out.movement_cost == 0.0
+        assert out.total == 4.0
+
+    def test_movement_charged(self):
+        topo = Mesh1D(4)
+        tensor, windows = make([[[2, 0, 0, 0], [0, 0, 0, 1]]], topo)
+        sched = Schedule(centers=np.array([[0, 3]]), windows=windows)
+        out = evaluate_schedule(sched, tensor, CostModel(topo))
+        assert out.reference_cost == 0.0
+        assert out.movement_cost == 3.0  # one move 0 -> 3
+
+    def test_volumes_scale_both_components(self):
+        topo = Mesh1D(4)
+        tensor, windows = make([[[1, 0, 0, 0], [0, 0, 0, 1]]], topo)
+        sched = Schedule(centers=np.array([[1, 2]]), windows=windows)
+        model = CostModel(topo, volumes=np.array([3.0]))
+        out = evaluate_schedule(sched, tensor, model)
+        assert out.reference_cost == 3.0 * (1 + 1)
+        assert out.movement_cost == 3.0 * 1
+
+    def test_2d_costs(self, mesh44):
+        counts = np.zeros((1, 1, 16), dtype=np.int64)
+        counts[0, 0, mesh44.pid(3, 3)] = 2
+        tensor, windows = make(counts, mesh44)
+        sched = Schedule.static(np.array([mesh44.pid(0, 0)]), windows)
+        out = evaluate_schedule(sched, tensor, CostModel(mesh44))
+        assert out.total == 12.0  # 2 refs x 6 hops
+
+    def test_per_datum_decomposition_sums_to_total(self, tiny_tensor, mesh23):
+        model = CostModel(mesh23)
+        centers = np.array([[0, 2, 5], [4, 4, 4]])
+        sched = Schedule(centers=centers, windows=tiny_tensor.windows)
+        ref, move = per_datum_costs(sched, tiny_tensor, model)
+        out = evaluate_schedule(sched, tiny_tensor, model)
+        assert ref.sum() == out.reference_cost
+        assert move.sum() == out.movement_cost
+        # datum 1 never moves
+        assert move[1] == 0.0
+
+
+class TestBreakdownAlgebra:
+    def test_addition(self):
+        from repro.core import CostBreakdown
+
+        a = CostBreakdown(1.0, 2.0)
+        b = CostBreakdown(10.0, 20.0)
+        s = a + b
+        assert (s.reference_cost, s.movement_cost, s.total) == (11.0, 22.0, 33.0)
+
+
+class TestValidation:
+    def test_mismatched_data(self, tiny_tensor, mesh23):
+        sched = Schedule.static(np.array([0]), tiny_tensor.windows)
+        with pytest.raises(ValueError):
+            evaluate_schedule(sched, tiny_tensor, CostModel(mesh23))
+
+    def test_mismatched_windows(self, tiny_tensor, mesh23):
+        from repro.trace import windows_by_step_count
+
+        sched = Schedule.static(np.array([0, 1]), windows_by_step_count(3, 2))
+        with pytest.raises(ValueError):
+            evaluate_schedule(sched, tiny_tensor, CostModel(mesh23))
+
+    def test_mismatched_model(self, tiny_tensor):
+        sched = Schedule.static(np.array([0, 1]), tiny_tensor.windows)
+        with pytest.raises(ValueError):
+            evaluate_schedule(sched, tiny_tensor, CostModel(Mesh2D(5, 5)))
+
+    def test_center_outside_array(self, tiny_tensor, mesh23):
+        sched = Schedule.static(np.array([0, 10]), tiny_tensor.windows)
+        with pytest.raises(ValueError):
+            evaluate_schedule(sched, tiny_tensor, CostModel(mesh23))

@@ -1,0 +1,98 @@
+"""LOMCDS unit tests."""
+
+import numpy as np
+import pytest
+
+from repro.core import CostModel, evaluate_schedule, lomcds, scds
+from repro.grid import Mesh1D
+from repro.mem import CapacityError, CapacityPlan
+from repro.trace import build_reference_tensor
+from repro.workloads import trace_from_counts
+
+
+def tensor_1d(counts):
+    topo = Mesh1D(np.asarray(counts).shape[2])
+    trace, windows = trace_from_counts(np.asarray(counts, dtype=np.int64), topo)
+    return build_reference_tensor(trace, windows), CostModel(topo)
+
+
+def test_centers_are_per_window_optima():
+    tensor, model = tensor_1d([[[3, 0, 0, 0, 0], [0, 0, 0, 0, 2]]])
+    sched = lomcds(tensor, model)
+    assert sched.centers[0].tolist() == [0, 4]
+
+
+def test_reference_cost_is_minimal_per_window():
+    # LOMCDS minimizes each window's reference cost by construction
+    tensor, model = tensor_1d([[[1, 0, 2, 0, 0], [0, 1, 0, 0, 3]]])
+    sched = lomcds(tensor, model)
+    costs = model.all_placement_costs(tensor)[0]
+    for w in range(2):
+        assert costs[w, sched.centers[0, w]] == costs[w].min()
+
+
+def test_idle_window_holds_position():
+    # datum referenced only in windows 0 and 2; window 1 must not move it
+    tensor, model = tensor_1d([[[0, 0, 0, 0, 3], [0, 0, 0, 0, 0], [0, 0, 0, 0, 3]]])
+    sched = lomcds(tensor, model)
+    assert sched.centers[0].tolist() == [4, 4, 4]
+    assert sched.n_movements() == 0
+
+
+def test_leading_idle_windows_backfill():
+    # unreferenced until window 1: the initial placement is already there
+    tensor, model = tensor_1d([[[0, 0, 0], [0, 0, 2]]])
+    sched = lomcds(tensor, model)
+    assert sched.centers[0].tolist() == [2, 2]
+
+
+def test_fully_unreferenced_datum_is_stable():
+    tensor, model = tensor_1d([[[0, 0, 0], [0, 0, 0]], [[1, 0, 0], [1, 0, 0]]])
+    sched = lomcds(tensor, model)
+    assert sched.n_movements() == 0
+
+
+def test_capacity_respected_per_window():
+    rng = np.random.default_rng(1)
+    counts = rng.integers(0, 3, size=(12, 3, 6))
+    topo = Mesh1D(6)
+    trace, windows = trace_from_counts(counts, topo)
+    tensor = build_reference_tensor(trace, windows)
+    cap = CapacityPlan.uniform(6, 2)
+    sched = lomcds(tensor, CostModel(topo), capacity=cap)
+    assert (sched.occupancy(6) <= 2).all()
+
+
+def test_capacity_displacement_prefers_staying_put_when_idle():
+    # datum 0 heavy at proc 0; datum 1 idle in window 1 should stay where
+    # it was rather than be re-placed
+    counts = [
+        [[5, 0, 0], [5, 0, 0]],
+        [[0, 0, 2], [0, 0, 0]],
+    ]
+    tensor, model = tensor_1d(counts)
+    sched = lomcds(tensor, model, capacity=CapacityPlan.uniform(3, 2))
+    assert sched.centers[1].tolist() == [2, 2]
+
+
+def test_infeasible_raises():
+    tensor, model = tensor_1d([[[1, 0]], [[0, 1]], [[1, 1]]])
+    with pytest.raises(CapacityError):
+        lomcds(tensor, model, capacity=CapacityPlan.uniform(2, 1))
+
+
+def test_single_window_equals_scds_cost(lu8_tensor, mesh44):
+    from repro.trace import single_window
+
+    model = CostModel(mesh44)
+    merged = lu8_tensor.regroup(single_window(lu8_tensor.windows.n_steps))
+    a = evaluate_schedule(lomcds(merged, model), merged, model).total
+    b = evaluate_schedule(scds(merged, model), merged, model).total
+    assert a == b
+
+
+def test_deterministic(lu8_tensor, mesh44):
+    model = CostModel(mesh44)
+    assert np.array_equal(
+        lomcds(lu8_tensor, model).centers, lomcds(lu8_tensor, model).centers
+    )

@@ -1,0 +1,62 @@
+"""Baseline static-distribution tests."""
+
+import numpy as np
+import pytest
+
+from repro.core import evaluate_schedule, CostModel
+from repro.distrib import baseline_schedule, placement_for_shape, random_placement
+from repro.workloads import lu_workload, row_wise_owners
+
+
+def test_row_wise_matches_partition_map(mesh44):
+    placement = placement_for_shape("row_wise", (8, 8), mesh44)
+    assert np.array_equal(placement, row_wise_owners(8, 8, mesh44).reshape(-1))
+
+
+def test_1d_universe_row_wise(mesh44):
+    placement = placement_for_shape("row_wise", (32,), mesh44)
+    assert len(placement) == 32
+    assert placement[0] == 0 and placement[-1] == 15
+
+
+def test_1d_universe_rejects_2d_schemes(mesh44):
+    for scheme in ("block", "block_cyclic", "column_wise"):
+        with pytest.raises(ValueError):
+            placement_for_shape(scheme, (32,), mesh44)
+
+
+def test_random_placement_balanced(mesh44):
+    placement = random_placement((8, 8), mesh44, seed=3)
+    counts = np.bincount(placement, minlength=16)
+    assert counts.max() - counts.min() == 0
+
+
+def test_random_placement_seeded(mesh44):
+    a = random_placement((8, 8), mesh44, seed=3)
+    b = random_placement((8, 8), mesh44, seed=3)
+    c = random_placement((8, 8), mesh44, seed=4)
+    assert np.array_equal(a, b)
+    assert not np.array_equal(a, c)
+
+
+def test_baseline_schedule_is_static(mesh44, lu8):
+    sched = baseline_schedule(lu8, "row_wise")
+    assert sched.is_static()
+    assert sched.n_windows == lu8.windows.n_windows
+    assert sched.method == "S.F.(row_wise)"
+
+
+def test_baselines_all_evaluate(mesh44, lu8, lu8_tensor):
+    model = CostModel(mesh44)
+    costs = {}
+    for scheme in ("row_wise", "column_wise", "block", "block_cyclic", "random"):
+        sched = baseline_schedule(lu8, scheme)
+        costs[scheme] = evaluate_schedule(sched, lu8_tensor, model).total
+    assert all(c > 0 for c in costs.values())
+    # block distribution should beat row-wise for LU's 2-D locality
+    assert costs["block"] != costs["row_wise"]
+
+
+def test_unsupported_shape(mesh44):
+    with pytest.raises(ValueError):
+        placement_for_shape("row_wise", (2, 2, 2), mesh44)

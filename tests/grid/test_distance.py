@@ -1,0 +1,49 @@
+"""Distance-cache unit tests."""
+
+import numpy as np
+import pytest
+
+from repro.grid import (
+    Mesh2D,
+    cached_distance_matrix,
+    eccentricity,
+    pairwise_distances,
+)
+
+
+def test_cache_returns_same_object(mesh44):
+    first = cached_distance_matrix(mesh44)
+    second = cached_distance_matrix(mesh44)
+    assert first is second
+
+
+def test_equal_topologies_share_cache_entry():
+    assert cached_distance_matrix(Mesh2D(3, 3)) is cached_distance_matrix(Mesh2D(3, 3))
+
+
+def test_cached_matrix_is_readonly(mesh44):
+    dist = cached_distance_matrix(mesh44)
+    with pytest.raises(ValueError):
+        dist[0, 0] = 99
+
+
+def test_matches_topology_matrix(mesh23):
+    assert np.array_equal(cached_distance_matrix(mesh23), mesh23.distance_matrix())
+
+
+def test_pairwise_distances_elementwise(mesh44):
+    src = np.array([0, 5, 15])
+    dst = np.array([15, 5, 0])
+    out = pairwise_distances(mesh44, src, dst)
+    assert out.tolist() == [6, 0, 6]
+
+
+def test_pairwise_distances_broadcast(mesh44):
+    out = pairwise_distances(mesh44, np.array([[0], [15]]), np.arange(16))
+    assert out.shape == (2, 16)
+    assert out[0, 0] == 0 and out[1, 15] == 0
+
+
+def test_eccentricity_corner_vs_center(mesh44):
+    assert eccentricity(mesh44, mesh44.pid(0, 0)) == 6
+    assert eccentricity(mesh44, mesh44.pid(1, 1)) == 4

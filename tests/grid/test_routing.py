@@ -1,0 +1,85 @@
+"""x-y router unit tests."""
+
+import pytest
+
+from repro.grid import Mesh1D, Mesh2D, Torus2D, XYRouter
+
+
+@pytest.fixture
+def router(mesh44):
+    return XYRouter(mesh44)
+
+
+def test_route_endpoints_and_length(router, mesh44):
+    src, dst = mesh44.pid(0, 0), mesh44.pid(3, 3)
+    path = router.route(src, dst)
+    assert path[0] == src and path[-1] == dst
+    assert len(path) == mesh44.distance(src, dst) + 1
+
+
+def test_route_to_self_is_trivial(router):
+    assert router.route(5, 5) == [5]
+    assert router.links(5, 5) == []
+    assert router.hop_count(5, 5) == 0
+
+
+def test_x_before_y_order(router, mesh44):
+    # From (0,0) to (2,3): fix the column first (x axis), then the row.
+    path = [mesh44.coords(p) for p in router.route(mesh44.pid(0, 0), mesh44.pid(2, 3))]
+    assert path == [(0, 0), (0, 1), (0, 2), (0, 3), (1, 3), (2, 3)]
+
+
+def test_all_hops_are_adjacent(router, mesh44):
+    for src in range(0, 16, 5):
+        for dst in range(16):
+            for a, b in router.links(src, dst):
+                assert mesh44.distance(a, b) == 1
+
+
+def test_hop_count_equals_metric_everywhere(router, mesh44):
+    dist = mesh44.distance_matrix()
+    for src in range(16):
+        for dst in range(16):
+            assert router.hop_count(src, dst) == dist[src, dst]
+
+
+def test_links_count_matches_distance(router, mesh44):
+    src, dst = mesh44.pid(1, 0), mesh44.pid(3, 2)
+    assert len(router.links(src, dst)) == mesh44.distance(src, dst)
+
+
+def test_1d_routing():
+    line = Mesh1D(6)
+    router = XYRouter(line)
+    assert router.route(1, 4) == [1, 2, 3, 4]
+    assert router.route(4, 1) == [4, 3, 2, 1]
+
+
+def test_torus_routes_through_wraparound():
+    torus = Torus2D(4, 4)
+    router = XYRouter(torus)
+    # (0,0) -> (0,3) wraps west: one hop.
+    path = router.route(torus.pid(0, 0), torus.pid(0, 3))
+    assert len(path) - 1 == torus.distance(torus.pid(0, 0), torus.pid(0, 3)) == 1
+
+
+def test_torus_hop_count_equals_metric():
+    torus = Torus2D(3, 4)
+    router = XYRouter(torus)
+    dist = torus.distance_matrix()
+    for src in range(torus.n_procs):
+        for dst in range(torus.n_procs):
+            assert router.hop_count(src, dst) == dist[src, dst]
+
+
+def test_rejects_unknown_topology():
+    class Weird:
+        pass
+
+    with pytest.raises(TypeError):
+        XYRouter(Weird())
+
+
+def test_rejects_bad_pids(router):
+    with pytest.raises(ValueError):
+        router.route(0, 99)

@@ -1,0 +1,61 @@
+"""Smoke tests: every example script runs end to end and passes its own
+internal assertions (they assert replay agreement, claim ordering, etc.)."""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
+
+
+def run_example(name, argv=()):
+    old_argv = sys.argv
+    sys.argv = [str(EXAMPLES / name), *argv]
+    try:
+        runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    finally:
+        sys.argv = old_argv
+
+
+def test_quickstart(capsys):
+    run_example("quickstart.py")
+    out = capsys.readouterr().out
+    assert "replay check" in out
+    assert "GOMCDS" in out
+
+
+def test_irregular_kernel(capsys):
+    run_example("irregular_kernel.py")
+    out = capsys.readouterr().out
+    assert "Algorithm 3 grouping" in out
+
+
+def test_custom_workload(capsys):
+    run_example("custom_workload.py")
+    out = capsys.readouterr().out
+    assert "Gauss-Seidel" in out
+    assert "max link load" in out
+
+
+@pytest.mark.slow
+def test_reproduce_paper_fast(capsys):
+    run_example("reproduce_paper.py", argv=["--fast"])
+    out = capsys.readouterr().out
+    assert "[ok]" in out and "FAIL" not in out
+
+
+@pytest.mark.slow
+def test_extended_suite(capsys):
+    run_example("extended_suite.py")
+    out = capsys.readouterr().out
+    assert "Extended suite" in out
+    assert "makespan" in out
+
+
+def test_loop_nest_dsl(capsys):
+    run_example("loop_nest_dsl.py")
+    out = capsys.readouterr().out
+    assert "quadratic-gather" in out
+    assert "GOMCDS" in out

@@ -1,0 +1,56 @@
+"""CapacityPlan unit tests."""
+
+import numpy as np
+import pytest
+
+from repro.mem import CapacityError, CapacityPlan
+
+
+def test_uniform_plan():
+    plan = CapacityPlan.uniform(4, 3)
+    assert plan.n_procs == 4
+    assert plan.total == 12
+    assert plan.capacities.tolist() == [3, 3, 3, 3]
+
+
+def test_paper_rule_matches_papers_example():
+    # "with the data size of 8x8 and the processor array size of 4x4,
+    # the memory size of each processor is eight"
+    plan = CapacityPlan.paper_rule(n_data=64, n_procs=16, multiplier=2.0)
+    assert plan.capacities.tolist() == [8] * 16
+
+
+def test_paper_rule_rounds_up():
+    plan = CapacityPlan.paper_rule(n_data=10, n_procs=4, multiplier=2.0)
+    # minimum = ceil(10/4) = 3; doubled = 6
+    assert plan.capacities[0] == 6
+
+
+def test_paper_rule_fractional_multiplier():
+    plan = CapacityPlan.paper_rule(n_data=64, n_procs=16, multiplier=1.5)
+    assert plan.capacities[0] == 6
+
+
+def test_unbounded_fits_everything():
+    plan = CapacityPlan.unbounded(4, 100)
+    plan.check_feasible(100)
+
+
+def test_check_feasible():
+    plan = CapacityPlan.uniform(2, 3)
+    plan.check_feasible(6)
+    with pytest.raises(CapacityError):
+        plan.check_feasible(7)
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        CapacityPlan(np.array([-1, 2]))
+    with pytest.raises(ValueError):
+        CapacityPlan(np.zeros((2, 2), dtype=np.int64))
+    with pytest.raises(ValueError):
+        CapacityPlan.uniform(0, 1)
+    with pytest.raises(ValueError):
+        CapacityPlan.paper_rule(0, 4)
+    with pytest.raises(ValueError):
+        CapacityPlan.paper_rule(4, 4, multiplier=0.5)

@@ -1,0 +1,95 @@
+"""PIMArray machine-state tests."""
+
+import numpy as np
+import pytest
+
+from repro.mem import CapacityError, CapacityPlan
+from repro.sim import PIMArray
+
+
+@pytest.fixture
+def machine(mesh23):
+    return PIMArray(mesh23, CapacityPlan.uniform(6, 2))
+
+
+def test_load_and_lookup(machine):
+    machine.load_initial(np.array([0, 1, 1, 5]))
+    assert machine.location_of(0) == 0
+    assert machine.location_of(2) == 1
+    assert machine.memory_load().tolist() == [1, 2, 0, 0, 0, 1]
+
+
+def test_load_rejects_over_capacity(machine):
+    with pytest.raises(CapacityError):
+        machine.load_initial(np.array([0, 0, 0]))
+
+
+def test_load_rejects_bad_pids(machine):
+    with pytest.raises(ValueError):
+        machine.load_initial(np.array([0, 9]))
+
+
+def test_relocate_updates_state(machine):
+    machine.load_initial(np.array([0, 1]))
+    machine.relocate(0, 0, 3)
+    assert machine.location_of(0) == 3
+    assert machine.memory_load()[0] == 0
+    assert machine.memory_load()[3] == 1
+
+
+def test_relocate_checks_source(machine):
+    machine.load_initial(np.array([0, 1]))
+    with pytest.raises(RuntimeError):
+        machine.relocate(0, 2, 3)
+
+
+def test_relocate_noop_when_same(machine):
+    machine.load_initial(np.array([0, 1]))
+    machine.relocate(0, 0, 0)
+    assert machine.location_of(0) == 0
+
+
+def test_relocate_enforces_capacity(machine):
+    machine.load_initial(np.array([0, 1, 1]))
+    with pytest.raises(CapacityError):
+        machine.relocate(0, 0, 1)
+
+
+def test_batch_swap_between_full_memories(mesh23):
+    machine = PIMArray(mesh23, CapacityPlan.uniform(6, 1))
+    machine.load_initial(np.array([0, 1]))
+    # single relocations would overflow; the batch swap is legal
+    machine.relocate_batch(np.array([0, 1]), np.array([1, 0]))
+    assert machine.location_of(0) == 1
+    assert machine.location_of(1) == 0
+
+
+def test_batch_rejects_net_overflow(mesh23):
+    machine = PIMArray(mesh23, CapacityPlan.uniform(6, 1))
+    machine.load_initial(np.array([0, 1]))
+    with pytest.raises(CapacityError):
+        machine.relocate_batch(np.array([0]), np.array([1]))
+
+
+def test_batch_rejects_duplicate_datum(machine):
+    machine.load_initial(np.array([0, 1]))
+    with pytest.raises(ValueError):
+        machine.relocate_batch(np.array([0, 0]), np.array([2, 3]))
+
+
+def test_unloaded_machine_raises(machine):
+    with pytest.raises(RuntimeError):
+        machine.location_of(0)
+    with pytest.raises(RuntimeError):
+        machine.relocate(0, 0, 1)
+
+
+def test_no_capacity_plan_is_unbounded(mesh23):
+    machine = PIMArray(mesh23)
+    machine.load_initial(np.zeros(50, dtype=np.int64))
+    assert machine.memory_load()[0] == 50
+
+
+def test_capacity_topology_mismatch(mesh44):
+    with pytest.raises(ValueError):
+        PIMArray(mesh44, CapacityPlan.uniform(6, 2))

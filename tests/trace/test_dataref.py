@@ -1,0 +1,60 @@
+"""Data-reference-string (Definition 2) unit tests."""
+
+import pytest
+
+from repro.trace import (
+    TraceBuilder,
+    data_reference_string,
+    per_processor_demand,
+    windows_by_step_count,
+    working_set_sizes,
+)
+
+
+def make_trace():
+    b = TraceBuilder(n_procs=3, n_data=4)
+    b.add(0, 1, 2)
+    b.add(0, 3)
+    b.add(1, 0)
+    b.end_step()
+    b.add(0, 1)
+    b.end_step()
+    return b.build()
+
+
+def test_data_reference_string_expands_counts():
+    trace = make_trace()
+    assert data_reference_string(trace, 0) == [(0, 1), (0, 1), (0, 3), (1, 1)]
+    assert data_reference_string(trace, 1) == [(0, 0)]
+    assert data_reference_string(trace, 2) == []
+
+
+def test_data_reference_string_rejects_bad_proc():
+    with pytest.raises(ValueError):
+        data_reference_string(make_trace(), 5)
+
+
+def test_per_processor_demand():
+    trace = make_trace()
+    windows = windows_by_step_count(trace, 1)
+    demand = per_processor_demand(trace, windows)
+    assert demand.shape == (2, 3)
+    assert demand[0].tolist() == [3, 1, 0]
+    assert demand[1].tolist() == [1, 0, 0]
+
+
+def test_working_set_sizes_counts_distinct_data():
+    trace = make_trace()
+    windows = windows_by_step_count(trace, 1)
+    ws = working_set_sizes(trace, windows)
+    # proc 0 touches data {1, 3} in window 0 but datum 1 twice -> 2 distinct
+    assert ws[0].tolist() == [2, 1, 0]
+    assert ws[1].tolist() == [1, 0, 0]
+
+
+def test_working_set_merged_window():
+    trace = make_trace()
+    windows = windows_by_step_count(trace, 2)
+    ws = working_set_sizes(trace, windows)
+    # datum 1 appears in both steps but counts once in the merged window
+    assert ws[0, 0] == 2

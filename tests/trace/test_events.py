@@ -1,0 +1,142 @@
+"""Trace and TraceBuilder unit tests."""
+
+import numpy as np
+import pytest
+
+from repro.trace import Trace, TraceBuilder, concat_traces, reverse_trace
+
+
+def build_simple():
+    b = TraceBuilder(n_procs=4, n_data=3)
+    b.add(0, 1)
+    b.add(0, 1)  # duplicate -> consolidated
+    b.add(2, 0, count=3)
+    b.end_step()
+    b.add(1, 2)
+    b.end_step()
+    return b.build()
+
+
+class TestTraceBuilder:
+    def test_consolidates_duplicates(self):
+        trace = build_simple()
+        # (step0, proc0, data1) appears once with count 2
+        mask = (trace.steps == 0) & (trace.procs == 0) & (trace.data == 1)
+        assert mask.sum() == 1
+        assert trace.counts[mask][0] == 2
+
+    def test_total_references(self):
+        assert build_simple().total_references == 2 + 3 + 1
+
+    def test_step_tracking(self):
+        b = TraceBuilder(n_procs=2, n_data=2)
+        assert b.current_step == 0
+        b.add(0, 0)
+        assert b.end_step() == 1
+        b.add(1, 1)
+        trace = b.build()
+        assert trace.n_steps == 2
+
+    def test_trailing_partial_step_counts(self):
+        b = TraceBuilder(n_procs=2, n_data=2)
+        b.add(0, 0)  # no end_step
+        assert b.build().n_steps == 1
+
+    def test_empty_build(self):
+        trace = TraceBuilder(n_procs=2, n_data=2).build()
+        assert len(trace) == 0
+        assert trace.n_steps == 1  # at least one step always exists
+
+    def test_add_many(self):
+        b = TraceBuilder(n_procs=2, n_data=5)
+        b.add_many(1, [0, 2, 4])
+        trace = b.build()
+        assert sorted(trace.data.tolist()) == [0, 2, 4]
+        assert set(trace.procs.tolist()) == {1}
+
+    def test_rejects_out_of_range(self):
+        b = TraceBuilder(n_procs=2, n_data=2)
+        with pytest.raises(ValueError):
+            b.add(2, 0)
+        with pytest.raises(ValueError):
+            b.add(0, 2)
+        with pytest.raises(ValueError):
+            b.add(0, 0, count=0)
+
+
+class TestTrace:
+    def test_events_materialization(self):
+        events = build_simple().events()
+        assert {(e.step, e.proc, e.data, e.count) for e in events} == {
+            (0, 0, 1, 2),
+            (0, 2, 0, 3),
+            (1, 1, 2, 1),
+        }
+
+    def test_validation_rejects_bad_arrays(self):
+        ok = build_simple()
+        with pytest.raises(ValueError):
+            Trace(
+                steps=ok.steps,
+                procs=ok.procs,
+                data=ok.data,
+                counts=ok.counts,
+                n_steps=1,  # step 1 exists -> out of range
+                n_data=3,
+                n_procs=4,
+            )
+        with pytest.raises(ValueError):
+            Trace(
+                steps=ok.steps[::-1].copy(),  # unsorted
+                procs=ok.procs,
+                data=ok.data,
+                counts=ok.counts,
+                n_steps=2,
+                n_data=3,
+                n_procs=4,
+            )
+
+    def test_shifted(self):
+        trace = build_simple().shifted(5)
+        assert trace.steps.min() == 5
+        assert trace.n_steps == 7
+        with pytest.raises(ValueError):
+            trace.shifted(-1)
+
+
+class TestConcat:
+    def test_concat_shifts_second(self):
+        a, b = build_simple(), build_simple()
+        combined = concat_traces(a, b)
+        assert combined.n_steps == 4
+        assert combined.total_references == 2 * a.total_references
+        # second half starts after the first trace's horizon
+        assert (combined.steps >= 2).sum() == len(b)
+
+    def test_concat_rejects_mismatched(self):
+        a = build_simple()
+        other = TraceBuilder(n_procs=5, n_data=3)
+        other.add(0, 0)
+        with pytest.raises(ValueError):
+            concat_traces(a, other.build())
+
+
+class TestReverse:
+    def test_reverse_mirrors_steps(self):
+        trace = build_simple()
+        rev = reverse_trace(trace)
+        assert rev.n_steps == trace.n_steps
+        # step-0 events land on the last step and vice versa
+        assert set(rev.steps[rev.data == 1].tolist()) == {1}
+        assert set(rev.steps[rev.data == 2].tolist()) == {0}
+
+    def test_double_reverse_is_identity(self):
+        trace = build_simple()
+        twice = reverse_trace(reverse_trace(trace))
+        assert np.array_equal(twice.steps, trace.steps)
+        assert np.array_equal(twice.data, trace.data)
+        assert np.array_equal(twice.counts, trace.counts)
+
+    def test_reverse_preserves_reference_totals(self):
+        trace = build_simple()
+        assert reverse_trace(trace).total_references == trace.total_references

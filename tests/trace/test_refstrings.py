@@ -1,0 +1,110 @@
+"""ReferenceTensor unit tests."""
+
+import numpy as np
+import pytest
+
+from repro.trace import (
+    ReferenceTensor,
+    TraceBuilder,
+    build_reference_tensor,
+    single_window,
+    windows_by_step_count,
+)
+
+
+def small_trace():
+    b = TraceBuilder(n_procs=3, n_data=2)
+    b.add(0, 0, 2)
+    b.add(1, 1)
+    b.end_step()
+    b.add(2, 0)
+    b.end_step()
+    b.add(2, 0)
+    b.add(2, 1, 4)
+    b.end_step()
+    return b.build()
+
+
+class TestBuild:
+    def test_counts_per_window(self):
+        trace = small_trace()
+        windows = windows_by_step_count(trace, 1)
+        tensor = build_reference_tensor(trace, windows)
+        assert tensor.counts.shape == (2, 3, 3)
+        assert tensor.counts[0, 0].tolist() == [2, 0, 0]
+        assert tensor.counts[0, 1].tolist() == [0, 0, 1]
+        assert tensor.counts[1, 2].tolist() == [0, 0, 4]
+
+    def test_window_aggregation(self):
+        trace = small_trace()
+        tensor = build_reference_tensor(trace, single_window(trace))
+        assert tensor.counts[0, 0].tolist() == [2, 0, 2]
+        assert tensor.total_references() == trace.total_references
+
+    def test_rejects_mismatched_windows(self):
+        trace = small_trace()
+        with pytest.raises(ValueError):
+            build_reference_tensor(trace, windows_by_step_count(99, 10))
+
+
+class TestTensorMethods:
+    def make(self):
+        trace = small_trace()
+        return build_reference_tensor(trace, windows_by_step_count(trace, 1))
+
+    def test_for_data_is_view(self):
+        tensor = self.make()
+        assert tensor.for_data(0).base is tensor.counts
+
+    def test_total_references_per_datum(self):
+        tensor = self.make()
+        assert tensor.total_references(0) == 4
+        assert tensor.total_references(1) == 5
+
+    def test_priority_order_descending(self):
+        tensor = self.make()
+        assert tensor.data_priority_order().tolist() == [1, 0]
+
+    def test_referenced_data(self):
+        counts = np.zeros((3, 1, 2), dtype=np.int64)
+        counts[1, 0, 0] = 1
+        tensor = ReferenceTensor(
+            counts=counts, windows=single_window(1)
+        )
+        assert tensor.referenced_data().tolist() == [1]
+
+    def test_processor_reference_string(self):
+        tensor = self.make()
+        assert tensor.processor_reference_string(0, 0).tolist() == [0, 0]
+        assert tensor.processor_reference_string(1, 2).tolist() == [2, 2, 2, 2]
+
+    def test_regroup_coarsens(self):
+        tensor = self.make()
+        coarse = tensor.regroup(windows_by_step_count(3, 2))
+        # windows {0,1} merge; window {2} alone (tail fold keeps [0,2)+[2,3))
+        assert coarse.n_windows == 2
+        assert coarse.counts[0, 0].tolist() == [2, 0, 1]
+        assert coarse.counts.sum() == tensor.counts.sum()
+
+    def test_regroup_rejects_refinement(self):
+        trace = small_trace()
+        coarse = build_reference_tensor(trace, single_window(trace))
+        with pytest.raises(ValueError):
+            coarse.regroup(windows_by_step_count(3, 1))
+
+    def test_regroup_rejects_horizon_mismatch(self):
+        tensor = self.make()
+        with pytest.raises(ValueError):
+            tensor.regroup(single_window(99))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ReferenceTensor(
+                counts=np.zeros((2, 2), dtype=np.int64),
+                windows=single_window(1),
+            )
+        with pytest.raises(ValueError):
+            ReferenceTensor(
+                counts=-np.ones((1, 1, 2), dtype=np.int64),
+                windows=single_window(1),
+            )

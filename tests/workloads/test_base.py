@@ -1,0 +1,65 @@
+"""WorkloadInstance and base-helper tests."""
+
+import numpy as np
+import pytest
+
+from repro.trace import windows_by_step_count
+from repro.workloads import (
+    WorkloadInstance,
+    combine_windows,
+    lu_workload,
+    matrix_data_ids,
+)
+
+
+def test_matrix_data_ids_row_major():
+    ids = matrix_data_ids(3, 4)
+    assert ids[0, 0] == 0
+    assert ids[0, 3] == 3
+    assert ids[2, 3] == 11
+
+
+def test_with_windows_resegments(mesh44, lu8):
+    fine = windows_by_step_count(lu8.trace, 1)
+    re = lu8.with_windows(fine)
+    assert re.windows.n_windows == lu8.trace.n_steps
+    assert re.trace is lu8.trace
+    assert re.name == lu8.name
+
+
+def test_reference_tensor_consistency(lu8):
+    tensor = lu8.reference_tensor()
+    assert tensor.total_references() == lu8.trace.total_references
+    assert tensor.n_windows == lu8.windows.n_windows
+
+
+def test_data_shape_must_cover_universe(mesh44, lu8):
+    with pytest.raises(ValueError):
+        WorkloadInstance(
+            name="bad",
+            trace=lu8.trace,
+            windows=lu8.windows,
+            data_shape=(7, 7),  # 49 != 64
+            topology=mesh44,
+        )
+
+
+def test_topology_must_match_trace(lu8):
+    from repro.grid import Mesh2D
+
+    with pytest.raises(ValueError):
+        WorkloadInstance(
+            name="bad",
+            trace=lu8.trace,
+            windows=lu8.windows,
+            data_shape=(8, 8),
+            topology=Mesh2D(2, 2),
+        )
+
+
+def test_combine_windows_unions_boundaries():
+    a = windows_by_step_count(6, 2)  # starts 0, 2, 4
+    b = windows_by_step_count(4, 4)  # starts 0
+    combined = combine_windows(a, b)
+    assert combined.n_steps == 10
+    assert combined.starts.tolist() == [0, 2, 4, 6]

@@ -1,0 +1,85 @@
+"""CODE-substitute workload tests."""
+
+import numpy as np
+import pytest
+
+from repro.trace import reverse_trace
+from repro.workloads import code_workload, reversed_code_workload
+
+
+def test_two_phases_of_n_steps(mesh44):
+    wl = code_workload(8, mesh44)
+    assert wl.trace.n_steps == 16
+
+
+def test_deterministic_given_seed(mesh44):
+    a = code_workload(8, mesh44, seed=5)
+    b = code_workload(8, mesh44, seed=5)
+    assert np.array_equal(a.trace.counts, b.trace.counts)
+    assert np.array_equal(a.trace.procs, b.trace.procs)
+
+
+def test_seed_changes_noise_only_slightly(mesh44):
+    a = code_workload(8, mesh44, seed=1)
+    b = code_workload(8, mesh44, seed=2)
+    # the deterministic wavefront dominates: totals differ by at most the
+    # noise budget (1 ref/step x 16 steps each way)
+    assert abs(a.trace.total_references - b.trace.total_references) <= 32
+
+
+def test_zero_noise_is_fully_deterministic(mesh44):
+    a = code_workload(8, mesh44, noise=0, seed=1)
+    b = code_workload(8, mesh44, noise=0, seed=999)
+    assert np.array_equal(a.trace.counts, b.trace.counts)
+
+
+def test_phase_boundary_starts_a_window(mesh44):
+    wl = code_workload(8, mesh44)
+    assert 8 in wl.windows.starts.tolist()
+
+
+def test_intensity_scales_references(mesh44):
+    light = code_workload(8, mesh44, intensity=1, noise=0)
+    heavy = code_workload(8, mesh44, intensity=4, noise=0)
+    assert heavy.trace.total_references > light.trace.total_references
+
+
+def test_window_locality_is_tight(mesh44):
+    """Within a window, a referenced datum's processors are clustered."""
+    wl = code_workload(16, mesh44, noise=0)
+    tensor = wl.reference_tensor()
+    dist = mesh44.distance_matrix()
+    spreads = []
+    for d in range(tensor.n_data):
+        for w in range(tensor.n_windows):
+            procs = np.nonzero(tensor.counts[d, w])[0]
+            if len(procs) > 1:
+                spreads.append(dist[np.ix_(procs, procs)].max())
+    # a wavefront row maps to very few owners: most (datum, window) pairs
+    # have a single referencing processor (spread list stays empty) and any
+    # multi-processor pair stays well below the 6-hop mesh diameter
+    assert np.mean(spreads) < 3.0 if spreads else True
+
+
+def test_reversed_code_mirrors_steps(mesh44):
+    fwd = code_workload(8, mesh44, seed=5)
+    rev = reversed_code_workload(8, mesh44, seed=5)
+    assert rev.trace.n_steps == fwd.trace.n_steps
+    manual = reverse_trace(fwd.trace)
+    assert np.array_equal(np.sort(rev.trace.data), np.sort(manual.data))
+    assert rev.trace.total_references == fwd.trace.total_references
+
+
+def test_reversed_windows_cover_horizon(mesh44):
+    rev = reversed_code_workload(8, mesh44)
+    assert rev.windows.n_steps == rev.trace.n_steps
+    assert rev.windows.sizes().sum() == rev.trace.n_steps
+
+
+def test_parameter_validation(mesh44):
+    with pytest.raises(ValueError):
+        code_workload(1, mesh44)
+    with pytest.raises(ValueError):
+        code_workload(8, mesh44, intensity=0)
+    with pytest.raises(ValueError):
+        code_workload(8, mesh44, noise=-1)

@@ -1,0 +1,81 @@
+"""Combined-benchmark (3, 4, 5) tests."""
+
+import pytest
+
+from repro.grid import Mesh2D
+from repro.workloads import (
+    BENCHMARK_NAMES,
+    benchmark,
+    code_workload,
+    combine,
+    lu_workload,
+    matmul_workload,
+)
+
+
+def test_combine_concatenates_time(mesh44):
+    lu = lu_workload(8, mesh44)
+    code = code_workload(8, mesh44)
+    combo = combine(lu, code)
+    assert combo.trace.n_steps == lu.trace.n_steps + code.trace.n_steps
+    assert (
+        combo.trace.total_references
+        == lu.trace.total_references + code.trace.total_references
+    )
+
+
+def test_combine_window_boundaries_union(mesh44):
+    lu = lu_workload(8, mesh44)
+    code = code_workload(8, mesh44)
+    combo = combine(lu, code)
+    starts = set(combo.windows.starts.tolist())
+    assert set(lu.windows.starts.tolist()) <= starts
+    shifted = {int(s) + lu.trace.n_steps for s in code.windows.starts}
+    assert shifted <= starts
+
+
+def test_combine_rejects_mismatches(mesh44):
+    lu = lu_workload(8, mesh44)
+    with pytest.raises(ValueError):
+        combine(lu, code_workload(16, mesh44))
+    with pytest.raises(ValueError):
+        combine(lu, code_workload(8, Mesh2D(2, 2)))
+
+
+def test_benchmark_dispatch(mesh44):
+    for number in (1, 2, 3, 4, 5):
+        wl = benchmark(number, 8, mesh44)
+        assert wl.n_data == 64
+        assert wl.name == BENCHMARK_NAMES[number]
+
+
+def test_benchmark_3_is_lu_plus_code(mesh44):
+    b3 = benchmark(3, 8, mesh44)
+    lu = lu_workload(8, mesh44)
+    code = code_workload(8, mesh44)
+    assert (
+        b3.trace.total_references
+        == lu.trace.total_references + code.trace.total_references
+    )
+
+
+def test_benchmark_5_is_palindromic_in_volume(mesh44):
+    b5 = benchmark(5, 8, mesh44)
+    code = code_workload(8, mesh44)
+    assert b5.trace.total_references == 2 * code.trace.total_references
+
+
+def test_unknown_benchmark(mesh44):
+    with pytest.raises(ValueError):
+        benchmark(6, 8, mesh44)
+    with pytest.raises(ValueError):
+        benchmark(0, 8, mesh44)
+
+
+def test_benchmarks_deterministic(mesh44):
+    import numpy as np
+
+    for number in (3, 5):
+        a = benchmark(number, 8, mesh44, seed=7)
+        b = benchmark(number, 8, mesh44, seed=7)
+        assert np.array_equal(a.trace.counts, b.trace.counts)

@@ -1,0 +1,82 @@
+"""LU workload (benchmark 1) tests."""
+
+import numpy as np
+import pytest
+
+from repro.workloads import lu_workload, matrix_data_ids, row_wise_owners
+
+
+def test_window_per_outer_iteration(mesh44):
+    wl = lu_workload(8, mesh44)
+    assert wl.windows.n_windows == 7  # k = 0 .. n-2
+    assert wl.trace.n_steps == 14  # two parallel steps per k
+
+
+def test_reference_count_formula(mesh44):
+    n = 6
+    wl = lu_workload(n, mesh44)
+    # division: 2 refs per row below pivot; update: 3 refs per cell
+    expected = sum(2 * (n - k - 1) + 3 * (n - k - 1) ** 2 for k in range(n - 1))
+    assert wl.trace.total_references == expected
+
+
+def test_pivot_referenced_by_column_owners(mesh44):
+    n = 4
+    wl = lu_workload(n, mesh44)
+    ids = matrix_data_ids(n, n)
+    owners = row_wise_owners(n, n, mesh44)
+    # in step 0 (k=0 division), the pivot A[0,0] is referenced by the
+    # owners of column 0 below the pivot
+    mask = (wl.trace.steps == 0) & (wl.trace.data == ids[0, 0])
+    procs = set(wl.trace.procs[mask].tolist())
+    assert procs == {int(owners[i, 0]) for i in range(1, n)}
+
+
+def test_trailing_submatrix_shrinks(mesh44):
+    wl = lu_workload(8, mesh44)
+    tensor = wl.reference_tensor()
+    per_window = tensor.counts.sum(axis=(0, 2))
+    assert (np.diff(per_window) < 0).all()  # strictly fewer refs over time
+
+
+def test_last_window_touches_only_corner(mesh44):
+    n = 4
+    wl = lu_workload(n, mesh44)
+    tensor = wl.reference_tensor()
+    ids = matrix_data_ids(n, n)
+    last = tensor.counts[:, -1, :].sum(axis=1)
+    touched = set(np.nonzero(last)[0].tolist())
+    # k = n-2: division touches (n-1, n-2) and pivot (n-2, n-2);
+    # update touches (n-1, n-1), (n-1, n-2), (n-2, n-1)
+    expected = {
+        int(ids[n - 1, n - 2]),
+        int(ids[n - 2, n - 2]),
+        int(ids[n - 1, n - 1]),
+        int(ids[n - 2, n - 1]),
+    }
+    assert touched == expected
+
+
+def test_data_shape_and_universe(mesh44):
+    wl = lu_workload(8, mesh44)
+    assert wl.data_shape == (8, 8)
+    assert wl.n_data == 64
+
+
+def test_partition_scheme_changes_trace(mesh44):
+    a = lu_workload(8, mesh44, scheme="row_wise")
+    b = lu_workload(8, mesh44, scheme="block")
+    assert not np.array_equal(a.trace.procs, b.trace.procs)
+    # but the referenced data are identical
+    assert a.trace.total_references == b.trace.total_references
+
+
+def test_deterministic(mesh44):
+    a, b = lu_workload(8, mesh44), lu_workload(8, mesh44)
+    assert np.array_equal(a.trace.counts, b.trace.counts)
+    assert np.array_equal(a.trace.procs, b.trace.procs)
+
+
+def test_too_small_rejected(mesh44):
+    with pytest.raises(ValueError):
+        lu_workload(1, mesh44)

@@ -1,0 +1,64 @@
+"""Matrix-square workload (benchmark 2) tests."""
+
+import numpy as np
+import pytest
+
+from repro.workloads import matmul_workload, matrix_data_ids, row_wise_owners
+
+
+def test_total_references(mesh44):
+    n = 8
+    wl = matmul_workload(n, mesh44)
+    # each of n steps: n^2 iterations x 2 references
+    assert wl.trace.total_references == 2 * n**3
+
+
+def test_one_step_per_k(mesh44):
+    wl = matmul_workload(8, mesh44)
+    assert wl.trace.n_steps == 8
+
+
+def test_default_window_count(mesh44):
+    assert matmul_workload(16, mesh44).windows.n_windows == 8
+    assert matmul_workload(8, mesh44).windows.n_windows == 8
+
+
+def test_custom_window_size(mesh44):
+    wl = matmul_workload(8, mesh44, ks_per_window=4)
+    assert wl.windows.n_windows == 2
+
+
+def test_step_k_touches_row_and_column_k(mesh44):
+    n = 4
+    wl = matmul_workload(n, mesh44)
+    ids = matrix_data_ids(n, n)
+    k = 2
+    touched = set(wl.trace.data[wl.trace.steps == k].tolist())
+    expected = {int(ids[i, k]) for i in range(n)} | {int(ids[k, j]) for j in range(n)}
+    assert touched == expected
+
+
+def test_reference_counts_per_step(mesh44):
+    # at step k, A[i,k] is referenced by all n owners of row i
+    n = 4
+    wl = matmul_workload(n, mesh44)
+    ids = matrix_data_ids(n, n)
+    owners = row_wise_owners(n, n, mesh44)
+    k, i = 1, 2
+    mask = (wl.trace.steps == k) & (wl.trace.data == ids[i, k])
+    total = int(wl.trace.counts[mask].sum())
+    # n references from row i owners (+ n more if i == k, not here)
+    assert total == n
+    assert set(wl.trace.procs[mask].tolist()) == set(owners[i].tolist())
+
+
+def test_symmetric_load_across_steps(mesh44):
+    wl = matmul_workload(8, mesh44)
+    tensor = wl.reference_tensor()
+    per_window = tensor.counts.sum(axis=(0, 2))
+    assert len(set(per_window.tolist())) == 1  # every window equally heavy
+
+
+def test_too_small_rejected(mesh44):
+    with pytest.raises(ValueError):
+        matmul_workload(1, mesh44)

@@ -1,0 +1,104 @@
+"""Iteration-partition map tests."""
+
+import numpy as np
+import pytest
+
+from repro.grid import Mesh1D, Mesh2D
+from repro.workloads import (
+    block_cyclic_owners,
+    block_owners,
+    column_wise_owners,
+    owner_map,
+    row_wise_owners,
+)
+
+
+class TestRowWise:
+    def test_contiguous_blocks(self, mesh44):
+        owners = row_wise_owners(8, 8, mesh44)
+        # 64 elements over 16 procs: 4 consecutive elements each
+        flat = owners.reshape(-1)
+        assert flat[0] == 0 and flat[3] == 0 and flat[4] == 1
+        assert flat[-1] == 15
+
+    def test_every_processor_used_when_divisible(self, mesh44):
+        owners = row_wise_owners(8, 8, mesh44)
+        assert set(owners.reshape(-1).tolist()) == set(range(16))
+
+    def test_balanced(self, mesh44):
+        owners = row_wise_owners(8, 8, mesh44)
+        counts = np.bincount(owners.reshape(-1), minlength=16)
+        assert counts.max() - counts.min() == 0
+
+    def test_non_divisible_sizes(self, mesh23):
+        owners = row_wise_owners(3, 3, mesh23)
+        assert owners.min() >= 0 and owners.max() < 6
+        counts = np.bincount(owners.reshape(-1), minlength=6)
+        assert counts.max() <= 2  # ceil(9/6)
+
+
+class TestColumnWise:
+    def test_is_transpose_of_row_wise(self, mesh44):
+        assert np.array_equal(
+            column_wise_owners(8, 8, mesh44), row_wise_owners(8, 8, mesh44).T
+        )
+
+    def test_first_column_on_first_procs(self, mesh44):
+        owners = column_wise_owners(8, 8, mesh44)
+        assert set(owners[:, 0].tolist()) == {0, 1}
+
+
+class TestBlock:
+    def test_tiles_map_to_mesh_coords(self, mesh44):
+        owners = block_owners(8, 8, mesh44)
+        # top-left 2x2 tile -> processor (0,0); bottom-right -> (3,3)
+        assert owners[0, 0] == 0
+        assert owners[1, 1] == 0
+        assert owners[7, 7] == 15
+        assert owners[0, 7] == 3
+
+    def test_balance(self, mesh44):
+        owners = block_owners(8, 8, mesh44)
+        counts = np.bincount(owners.reshape(-1), minlength=16)
+        assert (counts == 4).all()
+
+    def test_requires_2d_topology(self):
+        with pytest.raises(ValueError):
+            block_owners(4, 4, Mesh1D(4))
+
+
+class TestBlockCyclic:
+    def test_round_robin_blocks(self, mesh44):
+        owners = block_cyclic_owners(8, 8, mesh44, block=1)
+        assert owners[0, 0] == 0
+        assert owners[0, 4] == 0  # wraps after 4 columns
+        assert owners[4, 0] == 0  # wraps after 4 rows
+        assert owners[1, 1] == 5
+
+    def test_block_size_two(self, mesh44):
+        owners = block_cyclic_owners(8, 8, mesh44, block=2)
+        assert owners[0, 0] == owners[1, 1] == 0
+        assert owners[0, 2] == 1
+
+    def test_bad_block(self, mesh44):
+        with pytest.raises(ValueError):
+            block_cyclic_owners(4, 4, mesh44, block=0)
+
+    def test_requires_2d(self):
+        with pytest.raises(ValueError):
+            block_cyclic_owners(4, 4, Mesh1D(4))
+
+
+class TestDispatch:
+    def test_owner_map_names(self, mesh44):
+        for scheme in ("row_wise", "column_wise", "block", "block_cyclic"):
+            owners = owner_map(scheme, 8, 8, mesh44)
+            assert owners.shape == (8, 8)
+
+    def test_unknown_scheme(self, mesh44):
+        with pytest.raises(KeyError):
+            owner_map("diagonal", 8, 8, mesh44)
+
+    def test_bad_extents(self, mesh44):
+        with pytest.raises(ValueError):
+            row_wise_owners(0, 8, mesh44)

@@ -1,0 +1,63 @@
+"""Synthetic workload generator tests."""
+
+import numpy as np
+import pytest
+
+from repro.trace import build_reference_tensor
+from repro.workloads import (
+    drifting_hotspot_workload,
+    hotspot_workload,
+    trace_from_counts,
+    uniform_random_workload,
+)
+
+
+def test_uniform_shapes(mesh44):
+    wl = uniform_random_workload(mesh44, n_data=10, n_steps=8, refs_per_step=16)
+    assert wl.trace.n_steps == 8
+    assert wl.trace.total_references == 8 * 16
+    assert wl.n_data == 10
+
+
+def test_uniform_deterministic(mesh44):
+    a = uniform_random_workload(mesh44, n_data=10, seed=4)
+    b = uniform_random_workload(mesh44, n_data=10, seed=4)
+    assert np.array_equal(a.trace.counts, b.trace.counts)
+
+
+def test_hotspot_concentrates_references(mesh44):
+    wl = hotspot_workload(
+        mesh44, n_data=10, hot_proc=5, hot_fraction=0.9, refs_per_step=64, seed=1
+    )
+    share = (wl.trace.counts[wl.trace.procs == 5]).sum() / wl.trace.total_references
+    assert share > 0.75
+
+
+def test_hotspot_fraction_validated(mesh44):
+    with pytest.raises(ValueError):
+        hotspot_workload(mesh44, n_data=4, hot_fraction=1.5)
+
+
+def test_drift_moves_hot_processor(mesh44):
+    wl = drifting_hotspot_workload(
+        mesh44, n_data=10, n_steps=16, hot_fraction=0.9, refs_per_step=64, seed=2
+    )
+    tensor = wl.reference_tensor()
+    hot_per_window = tensor.counts.sum(axis=0).argmax(axis=1)
+    assert len(set(hot_per_window.tolist())) > 1  # the locus really moves
+
+
+class TestTraceFromCounts:
+    def test_roundtrip(self, mesh23):
+        counts = np.zeros((3, 2, 6), dtype=np.int64)
+        counts[0, 0, 1] = 2
+        counts[1, 1, 5] = 7
+        counts[2, 0, 0] = 1
+        trace, windows = trace_from_counts(counts, mesh23)
+        tensor = build_reference_tensor(trace, windows)
+        assert np.array_equal(tensor.counts, counts)
+
+    def test_rejects_mismatched_topology(self, mesh44):
+        counts = np.zeros((1, 1, 6), dtype=np.int64)
+        with pytest.raises(ValueError):
+            trace_from_counts(counts, mesh44)
