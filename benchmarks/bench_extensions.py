@@ -6,7 +6,6 @@ against the one-copy rule, and the makespan estimate that exposes what
 the paper's hop x volume metric hides.
 """
 
-import math
 
 import pytest
 

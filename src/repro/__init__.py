@@ -35,12 +35,21 @@ from .core import (
     gomcds,
     grouped_schedule,
     lomcds,
+    reschedule_around_faults,
     scds,
 )
 from .distrib import baseline_schedule
-from .grid import Mesh1D, Mesh2D, Torus2D, XYRouter
+from .faults import (
+    FaultConfigError,
+    FaultInjector,
+    FaultPlan,
+    LinkFault,
+    NodeFault,
+    RetryPolicy,
+)
+from .grid import FaultAwareRouter, Mesh1D, Mesh2D, Torus2D, XYRouter
 from .mem import CapacityError, CapacityPlan
-from .sim import PIMArray, SimReport, replay_schedule
+from .sim import PIMArray, ResidencyError, SimReport, replay_schedule
 from .trace import (
     ReferenceTensor,
     Trace,
@@ -97,4 +106,14 @@ __all__ = [
     "PIMArray",
     "replay_schedule",
     "SimReport",
+    "ResidencyError",
+    # faults & recovery
+    "FaultPlan",
+    "NodeFault",
+    "LinkFault",
+    "FaultConfigError",
+    "FaultInjector",
+    "RetryPolicy",
+    "FaultAwareRouter",
+    "reschedule_around_faults",
 ]

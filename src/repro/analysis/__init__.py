@@ -22,6 +22,7 @@ from .experiments import (
     run_table2,
 )
 from .export import rows_to_csv, table_to_csv
+from .faults import DEFAULT_FAULT_RATES, fault_sweep, run_fault_replay
 from .heatmap import render_heatmap, render_numeric_grid
 from .report import render_markdown_table, render_table
 from .summary import generate_report, write_report
@@ -48,6 +49,9 @@ __all__ = [
     "ablation_window_segmentation",
     "ablation_static_optimality",
     "ablation_movement_budget",
+    "DEFAULT_FAULT_RATES",
+    "fault_sweep",
+    "run_fault_replay",
     "render_heatmap",
     "render_numeric_grid",
     "render_table",

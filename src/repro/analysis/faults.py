@@ -1,0 +1,145 @@
+"""Fault-tolerance experiments: degradation sweeps over failure rates.
+
+The paper's tables assume a fault-free array; these experiments measure
+how each scheduler's cost and completion rate degrade as nodes, links
+and messages start failing, and what fault-aware rescheduling
+(:func:`~repro.core.reschedule_around_faults`) buys back.  Consumed by
+the ``repro faults`` CLI subcommand and ``benchmarks/bench_faults.py``.
+"""
+
+from __future__ import annotations
+
+from ..core import (
+    CostModel,
+    evaluate_schedule,
+    get_scheduler,
+    reschedule_around_faults,
+)
+from ..faults import FaultPlan, RetryPolicy
+from ..grid import Mesh2D
+from ..mem import CapacityPlan
+from ..sim import replay_schedule
+from ..workloads import benchmark
+
+__all__ = ["run_fault_replay", "fault_sweep", "DEFAULT_FAULT_RATES"]
+
+DEFAULT_FAULT_RATES = (0.0, 0.05, 0.1, 0.2, 0.3)
+
+
+def run_fault_replay(
+    plan: FaultPlan,
+    bench: int = 1,
+    size: int = 8,
+    mesh: tuple[int, int] = (4, 4),
+    scheduler: str = "GOMCDS",
+    reschedule: bool = False,
+    retry: RetryPolicy | None = None,
+    evacuate: bool = True,
+    capacity_multiplier: float = 2.0,
+    seed: int = 1998,
+) -> dict:
+    """Replay one benchmark under ``plan`` and summarize the degradation.
+
+    Returns a flat row with the fault-free analytic cost, the degraded
+    replay's costs and the per-outcome reference accounting.
+    """
+    topology = Mesh2D(*mesh)
+    workload = benchmark(bench, size, topology, seed=seed)
+    tensor = workload.reference_tensor()
+    model = CostModel(topology)
+    capacity = CapacityPlan.paper_rule(
+        workload.n_data, topology.n_procs, multiplier=capacity_multiplier
+    )
+    plan.validate_for(topology, tensor.n_windows)
+
+    if reschedule:
+        schedule = reschedule_around_faults(tensor, model, plan, capacity)
+    else:
+        schedule = get_scheduler(scheduler)(tensor, model, capacity)
+    analytic = evaluate_schedule(schedule, tensor, model)
+    report = replay_schedule(
+        workload.trace,
+        schedule,
+        model,
+        capacity=capacity,
+        faults=plan,
+        retry=retry,
+        evacuate=evacuate,
+    )
+    return {
+        "bench": bench,
+        "size": size,
+        "scheduler": schedule.method,
+        "analytic_cost": analytic.total,
+        "replayed_cost": report.total_cost,
+        "degraded_cost": report.degraded_cost,
+        "evacuation_cost": report.evacuation_cost,
+        "retry_cost": report.retry_cost,
+        "delivered": report.n_delivered,
+        "retried": report.n_retries,
+        "dropped": report.n_dropped,
+        "unreachable": report.n_unreachable,
+        "evacuated": report.n_evacuated,
+        "lost": report.n_lost,
+        "skipped_moves": report.n_skipped_moves,
+        "completion_pct": 100.0 * report.completion_rate,
+    }
+
+
+def fault_sweep(
+    node_rates=DEFAULT_FAULT_RATES,
+    link_rate: float = 0.0,
+    drop_rate: float = 0.0,
+    bench: int = 1,
+    size: int = 8,
+    mesh: tuple[int, int] = (4, 4),
+    scheduler: str = "GOMCDS",
+    reschedule: bool = False,
+    fault_seed: int = 0,
+    seed: int = 1998,
+) -> list[dict]:
+    """Sweep node-failure rates and report cost/completion degradation."""
+    topology = Mesh2D(*mesh)
+    workload = benchmark(bench, size, topology, seed=seed)
+    n_windows = workload.reference_tensor().n_windows
+    rows = []
+    for rate in node_rates:
+        plan = FaultPlan.random(
+            topology,
+            n_windows,
+            node_rate=float(rate),
+            link_rate=link_rate,
+            drop_rate=drop_rate,
+            seed=fault_seed,
+        )
+        row = run_fault_replay(
+            plan,
+            bench=bench,
+            size=size,
+            mesh=mesh,
+            scheduler=scheduler,
+            reschedule=reschedule and not plan.is_empty,
+            seed=seed,
+        )
+        rows.append(
+            {
+                "node_rate": float(rate),
+                "n_node_faults": len(plan.node_faults),
+                "n_link_faults": len(plan.link_faults),
+                **{
+                    k: row[k]
+                    for k in (
+                        "scheduler",
+                        "replayed_cost",
+                        "degraded_cost",
+                        "evacuation_cost",
+                        "delivered",
+                        "retried",
+                        "dropped",
+                        "unreachable",
+                        "completion_pct",
+                    )
+                },
+            }
+        )
+    return rows

@@ -8,7 +8,6 @@ at-a-glance picture of how far the schedulers let a datum roam.
 
 from __future__ import annotations
 
-import numpy as np
 
 from ..core.schedule import Schedule
 from ..grid import Topology

@@ -7,6 +7,13 @@ Usage::
     python -m repro figure1
     python -m repro ablation-window | ablation-array | ablation-memory \
         | ablation-grouping
+    python -m repro faults [--node-rate 0.2] [--fail-node 5] [--sweep]
+
+Exit codes are deterministic: ``0`` on success, ``2`` on a configuration
+error (bad arguments, a fault plan that does not fit the machine, an
+infeasible capacity), ``3`` when a fault replay leaves references
+unreachable or data stranded (degradation exceeded what recovery could
+absorb).
 """
 
 from __future__ import annotations
@@ -14,6 +21,10 @@ from __future__ import annotations
 import argparse
 import sys
 
+from .analysis import (
+    fault_sweep,
+    run_fault_replay,
+)
 from .analysis import (
     ablation_array_size,
     ablation_grouping_strategy,
@@ -33,8 +44,14 @@ from .analysis import (
     run_table1,
     run_table2,
 )
+from .faults import FaultPlan, NodeFault, RetryPolicy
+from .mem import CapacityError
 
-__all__ = ["main"]
+__all__ = ["main", "EXIT_OK", "EXIT_CONFIG_ERROR", "EXIT_UNREACHABLE_DATA"]
+
+EXIT_OK = 0
+EXIT_CONFIG_ERROR = 2
+EXIT_UNREACHABLE_DATA = 3
 
 
 def _add_common(parser: argparse.ArgumentParser) -> None:
@@ -104,8 +121,161 @@ def main(argv: list[str] | None = None) -> int:
     sub.add_parser("ablation-static", help="greedy vs optimal static placement (J)")
     sub.add_parser("seeds", help="seed sensitivity of the improvements")
     sub.add_parser("ablation-budget", help="movement-budget Pareto frontier (K)")
+    _add_faults_parser(sub)
     args = parser.parse_args(argv)
 
+    try:
+        return _dispatch(args)
+    except (CapacityError, ValueError) as exc:
+        # FaultConfigError subclasses ValueError; CapacityError covers
+        # infeasible memory/fault configurations.
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_CONFIG_ERROR
+
+
+def _add_faults_parser(sub) -> None:
+    parser = sub.add_parser(
+        "faults",
+        help="fault-injection replay: degradation under node/link/message "
+        "failures (docs/fault-model.md)",
+    )
+    parser.add_argument("--bench", type=int, default=1, help="paper benchmark id")
+    parser.add_argument("--size", type=int, default=8, help="matrix size n")
+    parser.add_argument(
+        "--mesh", type=int, nargs=2, default=[4, 4], metavar=("ROWS", "COLS")
+    )
+    parser.add_argument("--scheduler", default="GOMCDS")
+    parser.add_argument("--seed", type=int, default=1998, help="workload seed")
+    parser.add_argument(
+        "--fault-seed", type=int, default=0, help="seed for sampled fault plans"
+    )
+    parser.add_argument(
+        "--node-rate", type=float, default=0.0,
+        help="probability each node fails (sampled plan)",
+    )
+    parser.add_argument(
+        "--link-rate", type=float, default=0.0,
+        help="probability each directed link is severed (sampled plan)",
+    )
+    parser.add_argument(
+        "--drop-rate", type=float, default=0.0,
+        help="per-attempt transient message-drop probability",
+    )
+    parser.add_argument(
+        "--fail-node", type=int, action="append", default=[], metavar="PID",
+        help="explicitly fail a processor (repeatable)",
+    )
+    parser.add_argument(
+        "--fail-window", type=int, default=0,
+        help="window at which --fail-node processors go down",
+    )
+    parser.add_argument(
+        "--retries", type=int, default=3, help="retry budget per reference"
+    )
+    parser.add_argument(
+        "--deadline", type=int, default=8, help="timeout cycles per attempt"
+    )
+    parser.add_argument(
+        "--reschedule", action="store_true",
+        help="recompute centers around the faults before replaying",
+    )
+    parser.add_argument(
+        "--no-evacuate", action="store_true",
+        help="disable data evacuation on node failure",
+    )
+    parser.add_argument(
+        "--sweep", action="store_true",
+        help="sweep node-failure rates instead of a single replay",
+    )
+
+
+def _run_faults(args) -> int:
+    mesh = tuple(args.mesh)
+    if args.sweep:
+        rows = fault_sweep(
+            link_rate=args.link_rate,
+            drop_rate=args.drop_rate,
+            bench=args.bench,
+            size=args.size,
+            mesh=mesh,
+            scheduler=args.scheduler,
+            reschedule=args.reschedule,
+            fault_seed=args.fault_seed,
+            seed=args.seed,
+        )
+        print("Fault sweep (node-failure rate vs cost/completion)")
+        # rates like 0.05 must not collapse to "0.1" under the table's
+        # one-decimal float formatting
+        for row in rows:
+            row["node_rate"] = f"{row['node_rate']:g}"
+        print(_render_rows(rows))
+        worst = min(rows, key=lambda r: r["completion_pct"])
+        if worst["unreachable"] > 0:
+            print(
+                f"warning: {worst['unreachable']} references unreachable at "
+                f"node rate {worst['node_rate']}", file=sys.stderr,
+            )
+            return EXIT_UNREACHABLE_DATA
+        return EXIT_OK
+
+    from .grid import Mesh2D
+    from .workloads import benchmark as make_benchmark
+
+    topology = Mesh2D(*mesh)
+    n_windows = make_benchmark(
+        args.bench, args.size, topology, seed=args.seed
+    ).reference_tensor().n_windows
+    explicit = tuple(
+        NodeFault(pid=pid, start=args.fail_window) for pid in args.fail_node
+    )
+    sampled = FaultPlan.random(
+        topology,
+        n_windows=n_windows,
+        node_rate=args.node_rate,
+        link_rate=args.link_rate,
+        drop_rate=args.drop_rate,
+        seed=args.fault_seed,
+    )
+    plan = FaultPlan(
+        node_faults=sampled.node_faults + explicit,
+        link_faults=sampled.link_faults,
+        drop_rate=args.drop_rate,
+        seed=args.fault_seed,
+    )
+    plan.validate_for(topology)
+    row = run_fault_replay(
+        plan,
+        bench=args.bench,
+        size=args.size,
+        mesh=mesh,
+        scheduler=args.scheduler,
+        reschedule=args.reschedule,
+        retry=RetryPolicy(deadline=args.deadline, max_retries=args.retries),
+        evacuate=not args.no_evacuate,
+        seed=args.seed,
+    )
+    print(
+        f"Fault replay (benchmark {args.bench}, {args.size}x{args.size}, "
+        f"{mesh[0]}x{mesh[1]} array, scheduler {row['scheduler']})"
+    )
+    print(f"  node faults: {len(plan.node_faults)}, link faults: "
+          f"{len(plan.link_faults)}, drop rate: {plan.drop_rate}")
+    for key in (
+        "analytic_cost", "replayed_cost", "degraded_cost", "evacuation_cost",
+        "retry_cost", "delivered", "retried", "dropped", "unreachable",
+        "evacuated", "lost", "skipped_moves", "completion_pct",
+    ):
+        print(f"  {key}: {_fmt(row[key])}")
+    if row["unreachable"] > 0 or row["lost"] > 0:
+        print(
+            f"warning: {row['unreachable']} unreachable references, "
+            f"{row['lost']} stranded data", file=sys.stderr,
+        )
+        return EXIT_UNREACHABLE_DATA
+    return EXIT_OK
+
+
+def _dispatch(args) -> int:
     if args.command in ("table1", "table2"):
         sizes = tuple(args.sizes if not args.fast else [8, 16])
         runner = run_table1 if args.command == "table1" else run_table2
@@ -155,7 +325,9 @@ def main(argv: list[str] | None = None) -> int:
         print(_render_rows(seed_sensitivity()))
     elif args.command == "ablation-budget":
         print(_render_rows(ablation_movement_budget()))
-    return 0
+    elif args.command == "faults":
+        return _run_faults(args)
+    return EXIT_OK
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -26,6 +26,7 @@ from .lomcds import lomcds
 from .online import omcds
 from .optimal import optimal_static_placement, static_lower_bound
 from .refine import RefineResult, refine_schedule
+from .reschedule import alive_window_mask, reschedule_around_faults
 from .replication import (
     ReplicatedPlacement,
     evaluate_replicated,
@@ -59,6 +60,8 @@ __all__ = [
     "static_lower_bound",
     "RefineResult",
     "refine_schedule",
+    "reschedule_around_faults",
+    "alive_window_mask",
     "ReplicatedPlacement",
     "replicated_scds",
     "evaluate_replicated",

@@ -1,0 +1,246 @@
+"""Deterministic fault plans: *what* fails and *when*.
+
+The paper's machine model is fault-free; this module describes the ways a
+real PIM array degrades.  A :class:`FaultPlan` is an immutable, seedable
+description of three failure modes:
+
+* **node failures** (:class:`NodeFault`) — a processor (and its local
+  memory port) stops serving fetches for a window range;
+* **directed-link failures** (:class:`LinkFault`) — one direction of a
+  mesh wire is severed for a window range;
+* **transient message drops** — each fetch attempt is lost with a fixed
+  probability, decided by a deterministic counter-based RNG so that any
+  two replays of the same plan observe the same drops.
+
+Activation is expressed in *execution windows* (the paper's scheduling
+granularity): a fault with ``start=s, end=e`` is active for every window
+``w`` with ``s <= w < e`` (``end=None`` means the fault never heals).
+All randomness is derived from ``seed`` — a plan is a pure value and two
+equal plans inject identical faults.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..grid import Link, Topology
+
+__all__ = ["FaultConfigError", "NodeFault", "LinkFault", "FaultPlan"]
+
+
+class FaultConfigError(ValueError):
+    """Raised when a fault plan is malformed or does not fit the machine."""
+
+
+def _check_window_range(start: int, end: int | None, what: str) -> None:
+    if start < 0:
+        raise FaultConfigError(f"{what}: start window must be >= 0, got {start}")
+    if end is not None and end <= start:
+        raise FaultConfigError(
+            f"{what}: end window {end} must be after start window {start} "
+            "(end is exclusive; use end=None for a permanent fault)"
+        )
+
+
+@dataclass(frozen=True)
+class NodeFault:
+    """Processor ``pid`` is down for windows ``start <= w < end``."""
+
+    pid: int
+    start: int = 0
+    end: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.pid < 0:
+            raise FaultConfigError(f"node fault names a negative pid {self.pid}")
+        _check_window_range(self.start, self.end, f"node fault on pid {self.pid}")
+
+    def active_in(self, window: int) -> bool:
+        return self.start <= window and (self.end is None or window < self.end)
+
+
+@dataclass(frozen=True)
+class LinkFault:
+    """Directed mesh link ``src -> dst`` is severed for ``start <= w < end``."""
+
+    src: int
+    dst: int
+    start: int = 0
+    end: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.src < 0 or self.dst < 0:
+            raise FaultConfigError(
+                f"link fault names a negative pid ({self.src} -> {self.dst})"
+            )
+        if self.src == self.dst:
+            raise FaultConfigError(f"link fault {self.src} -> {self.dst} is a self-loop")
+        _check_window_range(
+            self.start, self.end, f"link fault {self.src} -> {self.dst}"
+        )
+
+    @property
+    def link(self) -> Link:
+        return (self.src, self.dst)
+
+    def active_in(self, window: int) -> bool:
+        return self.start <= window and (self.end is None or window < self.end)
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """An immutable, seedable set of faults to inject into a replay.
+
+    Attributes
+    ----------
+    node_faults, link_faults:
+        The permanent/windowed structural failures.
+    drop_rate:
+        Probability in ``[0, 1]`` that any single fetch attempt is lost in
+        transit (decided deterministically from ``seed``).
+    seed:
+        Root seed for every stochastic decision the plan makes.
+    """
+
+    node_faults: tuple[NodeFault, ...] = ()
+    link_faults: tuple[LinkFault, ...] = ()
+    drop_rate: float = 0.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "node_faults", tuple(self.node_faults))
+        object.__setattr__(self, "link_faults", tuple(self.link_faults))
+        if not 0.0 <= self.drop_rate <= 1.0:
+            raise FaultConfigError(
+                f"drop_rate must be a probability in [0, 1], got {self.drop_rate}"
+            )
+
+    @property
+    def is_empty(self) -> bool:
+        """True when the plan injects nothing at all (fault-free replay)."""
+        return (
+            not self.node_faults and not self.link_faults and self.drop_rate == 0.0
+        )
+
+    # -- activation queries --------------------------------------------------
+
+    def down_nodes(self, window: int) -> frozenset[int]:
+        """Pids of processors down during ``window``."""
+        return frozenset(f.pid for f in self.node_faults if f.active_in(window))
+
+    def down_links(self, window: int) -> frozenset[Link]:
+        """Directed links severed during ``window``."""
+        return frozenset(f.link for f in self.link_faults if f.active_in(window))
+
+    def fault_epoch(self, window: int) -> tuple[frozenset[int], frozenset[Link]]:
+        """Hashable structural-fault state of ``window`` (for router caching)."""
+        return self.down_nodes(window), self.down_links(window)
+
+    # -- validation ----------------------------------------------------------
+
+    def validate_for(self, topology: Topology, n_windows: int | None = None) -> None:
+        """Raise :class:`FaultConfigError` unless the plan fits the machine."""
+        n = topology.n_procs
+        for f in self.node_faults:
+            if f.pid >= n:
+                raise FaultConfigError(
+                    f"node fault names pid {f.pid}, but the array has only "
+                    f"{n} processors"
+                )
+        for f in self.link_faults:
+            if f.src >= n or f.dst >= n:
+                raise FaultConfigError(
+                    f"link fault {f.src} -> {f.dst} names pids outside the "
+                    f"{n}-processor array"
+                )
+        if n_windows is not None:
+            for f in (*self.node_faults, *self.link_faults):
+                if f.start >= n_windows:
+                    raise FaultConfigError(
+                        f"fault {f} activates at window {f.start}, but the "
+                        f"schedule has only {n_windows} windows"
+                    )
+
+    # -- deterministic message drops ------------------------------------------
+
+    def drops_message(self, window: int, event: int, attempt: int) -> bool:
+        """Whether fetch ``event`` of ``window`` is lost on try ``attempt``.
+
+        Counter-based: the decision depends only on the plan's seed and the
+        (window, event, attempt) coordinates, never on evaluation order, so
+        replays are reproducible and composable.
+        """
+        if self.drop_rate <= 0.0:
+            return False
+        if self.drop_rate >= 1.0:
+            return True
+        rng = np.random.default_rng(
+            np.random.SeedSequence((self.seed, 0x5EED, window, event, attempt))
+        )
+        return bool(rng.random() < self.drop_rate)
+
+    # -- seeded generation -----------------------------------------------------
+
+    @staticmethod
+    def random(
+        topology: Topology,
+        n_windows: int,
+        node_rate: float = 0.0,
+        link_rate: float = 0.0,
+        drop_rate: float = 0.0,
+        seed: int = 0,
+        min_survivors: int = 1,
+        transient_fraction: float = 0.5,
+    ) -> "FaultPlan":
+        """Sample a plan: each node/link fails independently with the given
+        rate, at a uniform activation window; a ``transient_fraction`` of
+        the structural faults heal after a random number of windows.
+
+        At least ``min_survivors`` processors are kept permanently alive so
+        the array never fails entirely (recovery would be meaningless).
+        """
+        if n_windows < 1:
+            raise FaultConfigError("n_windows must be positive")
+        if not 0 <= min_survivors <= topology.n_procs:
+            raise FaultConfigError(
+                f"min_survivors must be in [0, {topology.n_procs}]"
+            )
+        rng = np.random.default_rng(np.random.SeedSequence((seed, 0xFA117)))
+        n = topology.n_procs
+
+        def windowed() -> tuple[int, int | None]:
+            start = int(rng.integers(0, n_windows))
+            if rng.random() < transient_fraction:
+                end = start + 1 + int(rng.integers(0, max(1, n_windows - start)))
+                return start, end
+            return start, None
+
+        failing = [pid for pid in range(n) if rng.random() < node_rate]
+        rng.shuffle(failing)
+        failing = failing[: max(0, n - min_survivors)]
+        node_faults = []
+        for pid in sorted(failing):
+            start, end = windowed()
+            node_faults.append(NodeFault(pid=pid, start=start, end=end))
+
+        link_faults = []
+        if link_rate > 0.0:
+            from ..grid import mesh_links
+
+            for src, dst in mesh_links(topology):
+                if rng.random() < link_rate:
+                    start, end = windowed()
+                    link_faults.append(
+                        LinkFault(src=src, dst=dst, start=start, end=end)
+                    )
+
+        plan = FaultPlan(
+            node_faults=tuple(node_faults),
+            link_faults=tuple(link_faults),
+            drop_rate=drop_rate,
+            seed=seed,
+        )
+        plan.validate_for(topology, n_windows)
+        return plan

@@ -2,6 +2,7 @@
 
 from .distance import cached_distance_matrix, eccentricity, pairwise_distances
 from .extended_topologies import Mesh3D, WeightedMesh2D
+from .fault_routing import FaultAwareRouter, mesh_links, structural_neighbors
 from .routing import Link, XYRouter
 from .topology import Mesh1D, Mesh2D, Topology, Torus2D
 
@@ -13,6 +14,9 @@ __all__ = [
     "Mesh3D",
     "WeightedMesh2D",
     "XYRouter",
+    "FaultAwareRouter",
+    "mesh_links",
+    "structural_neighbors",
     "Link",
     "cached_distance_matrix",
     "pairwise_distances",

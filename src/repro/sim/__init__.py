@@ -1,6 +1,6 @@
 """Hop-level replay simulator for PIM-array schedules."""
 
-from .machine import PIMArray
+from .machine import PIMArray, ResidencyError
 from .network import NetworkReport, simulate_schedule_network, simulate_window_traffic
 from .messages import Message, MessageKind
 from .replay import replay_schedule
@@ -9,6 +9,7 @@ from .timing import TimingModel, TimingReport, estimate_execution_time
 
 __all__ = [
     "PIMArray",
+    "ResidencyError",
     "Message",
     "MessageKind",
     "replay_schedule",

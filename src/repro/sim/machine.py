@@ -15,7 +15,29 @@ import numpy as np
 from ..grid import Topology
 from ..mem import CapacityError, CapacityPlan
 
-__all__ = ["PIMArray"]
+__all__ = ["PIMArray", "ResidencyError"]
+
+
+class ResidencyError(RuntimeError):
+    """A relocation named a datum that is not where the caller claimed.
+
+    Raised when :meth:`PIMArray.relocate` is asked to move a datum from a
+    stale source location, or when any relocation is attempted before the
+    machine has data loaded.  Carries the datum and both locations so the
+    caller can report precisely what diverged.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        datum: int | None = None,
+        claimed: int | None = None,
+        actual: int | None = None,
+    ) -> None:
+        super().__init__(message)
+        self.datum = datum
+        self.claimed = claimed
+        self.actual = actual
 
 
 class PIMArray:
@@ -66,6 +88,19 @@ class PIMArray:
         """Items currently resident per processor."""
         return self._load.copy()
 
+    def residents(self, pid: int) -> np.ndarray:
+        """Ascending datum ids currently stored at processor ``pid``."""
+        if self._location is None:
+            raise RuntimeError("machine has no data loaded")
+        self.topology._check_pid(pid)
+        return np.nonzero(self._location == pid)[0]
+
+    def headroom(self) -> np.ndarray | None:
+        """Free slots per processor, or ``None`` when memory is unbounded."""
+        if self.capacity is None:
+            return None
+        return self.capacity.capacities - self._load
+
     def relocate_batch(self, data_ids: np.ndarray, dsts: np.ndarray) -> None:
         """Relocate many data atomically (a window-boundary movement phase).
 
@@ -75,7 +110,9 @@ class PIMArray:
         the movement phase completes before the window executes.
         """
         if self._location is None:
-            raise RuntimeError("machine has no data loaded")
+            raise ResidencyError(
+                "cannot relocate on an unloaded machine: call load_initial first"
+            )
         data_ids = np.asarray(data_ids, dtype=np.int64)
         dsts = np.asarray(dsts, dtype=np.int64)
         if data_ids.shape != dsts.shape or data_ids.ndim != 1:
@@ -92,10 +129,20 @@ class PIMArray:
     def relocate(self, datum: int, src: int, dst: int) -> None:
         """Move ``datum`` from ``src`` to ``dst``, enforcing consistency."""
         if self._location is None:
-            raise RuntimeError("machine has no data loaded")
+            raise ResidencyError(
+                f"cannot relocate datum {datum} ({src} -> {dst}) on an "
+                "unloaded machine: call load_initial first",
+                datum=datum,
+                claimed=src,
+            )
         if self._location[datum] != src:
-            raise RuntimeError(
-                f"datum {datum} is at {int(self._location[datum])}, not {src}"
+            actual = int(self._location[datum])
+            raise ResidencyError(
+                f"stale source for datum {datum}: it resides at {actual}, "
+                f"not {src} (requested move {src} -> {dst})",
+                datum=datum,
+                claimed=src,
+                actual=actual,
             )
         if src == dst:
             return

@@ -27,6 +27,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..core import CostModel, Schedule
+from ..faults import FaultInjector, FaultPlan
 from ..grid import XYRouter
 from ..trace import Trace
 
@@ -40,6 +41,9 @@ class NetworkReport:
     fetch_cycles: np.ndarray  # (n_windows,)
     move_cycles: np.ndarray  # (n_windows,)
     total_packets: int
+    #: packets that could not be injected at all under a fault plan
+    #: (dead endpoint or partitioned mesh); zero in a fault-free run.
+    n_undeliverable: int = 0
 
     @property
     def total_cycles(self) -> float:
@@ -64,6 +68,8 @@ def simulate_window_traffic(
         if src == dst or volume <= 0:
             continue
         route = router.links(src, dst)
+        if route is None:  # fault-aware router: unreachable pair
+            continue
         for _ in range(int(volume)):
             packets.append(list(route))
     if not packets:
@@ -101,20 +107,35 @@ def simulate_window_traffic(
 
 
 def simulate_schedule_network(
-    trace: Trace, schedule: Schedule, model: CostModel
+    trace: Trace,
+    schedule: Schedule,
+    model: CostModel,
+    faults: FaultPlan | None = None,
 ) -> NetworkReport:
-    """Drain every window's fetch and movement traffic through the wires."""
+    """Drain every window's fetch and movement traffic through the wires.
+
+    With a non-empty ``faults`` plan, packets route around dead nodes and
+    severed links (detours lengthen drain times); transfers with a dead
+    endpoint or no surviving route are counted as undeliverable instead
+    of injected.  An empty plan is bit-identical to the fault-free path.
+    """
     windows = schedule.windows
     if windows.n_steps != trace.n_steps:
         raise ValueError("schedule windows do not span the trace")
-    router = XYRouter(model.topology)
+    faulty = faults is not None and not faults.is_empty
+    injector = (
+        FaultInjector(faults, model.topology, windows.n_windows) if faulty else None
+    )
+    plain_router = XYRouter(model.topology)
     n_windows = windows.n_windows
     fetch_cycles = np.zeros(n_windows)
     move_cycles = np.zeros(n_windows)
     total_packets = 0
+    n_undeliverable = 0
 
     event_windows = windows.assign(trace.steps)
     for w in range(n_windows):
+        router = injector.router(w) if injector is not None else plain_router
         mask = event_windows == w
         transfers = []
         for p, d, c in zip(
@@ -122,9 +143,13 @@ def simulate_schedule_network(
         ):
             center = int(schedule.centers[d, w])
             volume = int(round(c * model.volume(int(d))))
-            if center != int(p) and volume > 0:
-                transfers.append((center, int(p), volume))
-                total_packets += volume
+            if center == int(p) or volume <= 0:
+                continue
+            if injector is not None and not router.reachable(center, int(p)):
+                n_undeliverable += volume
+                continue
+            transfers.append((center, int(p), volume))
+            total_packets += volume
         fetch_cycles[w] = simulate_window_traffic(transfers, router)
 
         if w > 0:
@@ -132,7 +157,11 @@ def simulate_schedule_network(
             prev, nxt = schedule.centers[:, w - 1], schedule.centers[:, w]
             for d in np.nonzero(prev != nxt)[0]:
                 volume = int(round(model.volume(int(d))))
-                moves.append((int(prev[d]), int(nxt[d]), volume))
+                src, dst = int(prev[d]), int(nxt[d])
+                if injector is not None and not router.reachable(src, dst):
+                    n_undeliverable += volume
+                    continue
+                moves.append((src, dst, volume))
                 total_packets += volume
             move_cycles[w] = simulate_window_traffic(moves, router)
 
@@ -140,4 +169,5 @@ def simulate_schedule_network(
         fetch_cycles=fetch_cycles,
         move_cycles=move_cycles,
         total_packets=total_packets,
+        n_undeliverable=n_undeliverable,
     )

@@ -15,6 +15,15 @@ evaluator, router), enforced by the integration tests.
 With ``track_links=True`` the report also carries per-link traffic, which
 the paper's metric abstracts away (total volume per directed mesh link,
 max link load) — used by the congestion extension bench.
+
+With a non-empty :class:`~repro.faults.FaultPlan` the replay degrades
+gracefully instead of crashing (see ``docs/fault-model.md``): residents
+of a failed node are evacuated to surviving memories (charged to the
+cost model), fetches are routed around dead links/nodes, transiently
+dropped fetches are retried with exponential backoff up to a retry
+budget, and every reference is accounted as delivered, dropped or
+unreachable in the :class:`~repro.sim.SimReport`.  An *empty* plan takes
+the exact fault-free code path, bit for bit.
 """
 
 from __future__ import annotations
@@ -22,8 +31,9 @@ from __future__ import annotations
 import numpy as np
 
 from ..core import CostModel, Schedule
-from ..grid import XYRouter
-from ..mem import CapacityPlan
+from ..faults import FaultInjector, FaultPlan, RetryPolicy, plan_evacuation
+from ..grid import FaultAwareRouter, XYRouter
+from ..mem import CapacityError, CapacityPlan
 from ..trace import Trace
 from .machine import PIMArray
 from .stats import SimReport
@@ -37,6 +47,9 @@ def replay_schedule(
     model: CostModel,
     capacity: CapacityPlan | None = None,
     track_links: bool = False,
+    faults: FaultPlan | None = None,
+    retry: RetryPolicy | None = None,
+    evacuate: bool = True,
 ) -> SimReport:
     """Execute ``schedule`` against ``trace`` and report observed costs.
 
@@ -56,6 +69,18 @@ def replay_schedule(
     track_links:
         Route every transfer hop-by-hop and record per-link volumes
         (slower; off by default).
+    faults:
+        Optional :class:`~repro.faults.FaultPlan` to inject.  ``None`` or
+        an empty plan replays the fault-free path unchanged.
+    retry:
+        Timeout/retry semantics for degraded fetches; defaults to
+        :class:`~repro.faults.RetryPolicy`'s defaults.  Ignored without
+        faults.
+    evacuate:
+        Whether a node failure triggers data evacuation to surviving
+        memories.  With ``False`` the victims stay stranded and their
+        references become unreachable (used to quantify what recovery
+        buys).  Ignored without faults.
     """
     windows = schedule.windows
     if windows.n_steps != trace.n_steps:
@@ -64,6 +89,18 @@ def replay_schedule(
         raise ValueError("schedule and trace disagree on n_data")
     if trace.n_procs != model.n_procs:
         raise ValueError("trace and cost model disagree on the array size")
+
+    if faults is not None and not faults.is_empty:
+        return _replay_with_faults(
+            trace,
+            schedule,
+            model,
+            capacity,
+            track_links,
+            faults,
+            retry or RetryPolicy(),
+            evacuate,
+        )
 
     machine = PIMArray(model.topology, capacity)
     machine.load_initial(schedule.initial_placement())
@@ -100,6 +137,7 @@ def replay_schedule(
             for c, p, volume in zip(centers, procs, counts * vols):
                 if c != p:
                     report.add_link_traffic(router.links(int(c), int(p)), float(volume))
+    report.n_delivered = report.n_fetches
     return report
 
 
@@ -126,3 +164,207 @@ def _relocate_for_window(
         report.n_moves += 1
         if router is not None:
             report.add_link_traffic(router.links(src, dst), volume)
+
+
+# ---------------------------------------------------------------------------
+# Degraded replay under a fault plan
+# ---------------------------------------------------------------------------
+
+
+def _replay_with_faults(
+    trace: Trace,
+    schedule: Schedule,
+    model: CostModel,
+    capacity: CapacityPlan | None,
+    track_links: bool,
+    faults: FaultPlan,
+    retry: RetryPolicy,
+    evacuate: bool,
+) -> SimReport:
+    """Execute the schedule while injecting ``faults``.
+
+    The machine's residency — not the schedule — is authoritative here:
+    evacuation and skipped relocations make the two diverge by design,
+    and fetches are served from wherever a datum actually lives.
+    """
+    windows = schedule.windows
+    injector = FaultInjector(faults, model.topology, windows.n_windows)
+    machine = PIMArray(model.topology, capacity)
+    machine.load_initial(schedule.initial_placement())
+    report = SimReport(per_window_cost=np.zeros(windows.n_windows))
+
+    event_windows = windows.assign(trace.steps)
+    order = np.argsort(event_windows, kind="stable")
+    boundaries = np.searchsorted(event_windows[order], np.arange(windows.n_windows + 1))
+
+    for w in range(windows.n_windows):
+        router = injector.router(w)
+        alive = injector.alive_mask(w)
+
+        newly_down = injector.newly_down(w)
+        if newly_down:
+            if evacuate:
+                _evacuate_nodes(
+                    machine, schedule, model, injector, w, newly_down, report,
+                    track_links,
+                )
+            else:
+                for pid in newly_down:
+                    report.n_lost += len(machine.residents(pid))
+
+        if w > 0:
+            _relocate_degraded(
+                machine, schedule, model, w, alive, router, report, track_links
+            )
+
+        idx = order[boundaries[w] : boundaries[w + 1]]
+        locations = machine.locations()
+        for i in idx:
+            i = int(i)
+            p = int(trace.procs[i])
+            d = int(trace.data[i])
+            volume = float(trace.counts[i]) * model.volume(d)
+            center = int(locations[d])
+            report.n_fetches += 1
+            if not alive[p] or not alive[center]:
+                _record_unreachable(report, retry)
+                continue
+            route = router.route(center, p)
+            if route is None:
+                _record_unreachable(report, retry)
+                continue
+            _attempt_fetch(
+                report, retry, injector, w, i, route, volume, track_links
+            )
+    return report
+
+
+def _record_unreachable(report: SimReport, retry: RetryPolicy) -> None:
+    """A reference whose center cannot be reached at all: the requester
+    burns its full timeout/backoff budget, then gives up."""
+    report.n_unreachable += 1
+    report.n_retries += retry.max_retries
+    report.retry_wait_cycles += retry.total_timeout_cycles()
+
+
+def _attempt_fetch(
+    report: SimReport,
+    retry: RetryPolicy,
+    injector: FaultInjector,
+    window: int,
+    event: int,
+    route: list[int],
+    volume: float,
+    track_links: bool,
+) -> None:
+    """Deliver one fetch over ``route``, retrying transient drops."""
+    hops = len(route) - 1
+    if hops == 0:
+        # local memory access: no wire, nothing to drop
+        report.n_local_fetches += 1
+        report.n_delivered += 1
+        return
+    links = list(zip(route[:-1], route[1:]))
+    for attempt in range(retry.max_attempts):
+        dropped = injector.drops(window, event, attempt)
+        if track_links:
+            # the message occupies the wires whether or not it survives
+            report.add_link_traffic(links, volume)
+        if not dropped:
+            cost = hops * volume
+            report.reference_cost += cost
+            report.per_window_cost[window] += cost
+            report.n_delivered += 1
+            return
+        report.retry_cost += hops * volume
+        report.retry_wait_cycles += retry.wait_cycles(attempt)
+        if attempt < retry.max_retries:
+            report.n_retries += 1
+    report.n_dropped += 1
+
+
+def _evacuate_nodes(
+    machine: PIMArray,
+    schedule: Schedule,
+    model: CostModel,
+    injector: FaultInjector,
+    w: int,
+    newly_down: frozenset[int],
+    report: SimReport,
+    track_links: bool,
+) -> None:
+    """Relocate every resident of the just-failed nodes to survivors.
+
+    Victims go to their scheduled center for window ``w`` when it is
+    alive with headroom, otherwise to the nearest surviving node with a
+    free slot; relocation traffic is charged to ``evacuation_cost`` at
+    the surviving-route hop count.
+    """
+    capacities = None if machine.capacity is None else machine.capacity.capacities
+    moves, stranded = plan_evacuation(
+        machine.locations(),
+        machine.memory_load(),
+        capacities,
+        newly_down,
+        injector.alive_mask(w),
+        model.distances,
+        preferred=schedule.centers[:, w],
+    )
+    report.n_lost += len(stranded)
+    for move in moves:
+        router = injector.recovery_router(w, move.src)
+        route = router.route(move.src, move.dst)
+        if route is None:
+            report.n_lost += 1
+            continue
+        machine.relocate(move.datum, move.src, move.dst)
+        volume = model.volume(move.datum)
+        cost = (len(route) - 1) * volume
+        report.evacuation_cost += cost
+        report.per_window_cost[w] += cost
+        report.n_evacuated += 1
+        if track_links:
+            report.add_link_traffic(list(zip(route[:-1], route[1:])), volume)
+
+
+def _relocate_degraded(
+    machine: PIMArray,
+    schedule: Schedule,
+    model: CostModel,
+    w: int,
+    alive: np.ndarray,
+    router: FaultAwareRouter,
+    report: SimReport,
+    track_links: bool,
+) -> None:
+    """Scheduled movements into window ``w`` on a degraded array.
+
+    A move is skipped — the datum stays put — when its source or target
+    node is dead, when faults partition the mesh between them, or when
+    the target memory is full (degraded relocation is sequential, so the
+    fault-free batch-swap guarantee does not apply).
+    """
+    current = machine.locations()
+    targets = schedule.centers[:, w]
+    for d in np.nonzero(current != targets)[0]:
+        d = int(d)
+        src, dst = int(current[d]), int(targets[d])
+        if not alive[src] or not alive[dst]:
+            report.n_skipped_moves += 1
+            continue
+        route = router.route(src, dst)
+        if route is None:
+            report.n_skipped_moves += 1
+            continue
+        try:
+            machine.relocate(d, src, dst)
+        except CapacityError:
+            report.n_skipped_moves += 1
+            continue
+        volume = model.volume(d)
+        cost = (len(route) - 1) * volume
+        report.movement_cost += cost
+        report.per_window_cost[w] += cost
+        report.n_moves += 1
+        if track_links:
+            report.add_link_traffic(list(zip(route[:-1], route[1:])), volume)

@@ -16,9 +16,18 @@ __all__ = ["SimReport"]
 class SimReport:
     """Aggregated observations of one schedule replay.
 
-    ``reference_cost`` / ``movement_cost`` are hop x volume sums and must
-    equal the analytic :class:`~repro.core.CostBreakdown` exactly; link
-    statistics are only populated when the replay ran with link tracking.
+    ``reference_cost`` / ``movement_cost`` are hop x volume sums and — in
+    a fault-free replay — must equal the analytic
+    :class:`~repro.core.CostBreakdown` exactly; link statistics are only
+    populated when the replay ran with link tracking.
+
+    Under a :class:`~repro.faults.FaultPlan` every reference lands in
+    exactly one outcome bucket — ``n_delivered``, ``n_dropped`` (retry
+    budget exhausted by transient losses) or ``n_unreachable`` (failed
+    center, dead referencing node, or a partitioned mesh) — and the
+    degradation costs (``evacuation_cost``, ``retry_cost``,
+    ``retry_wait_cycles``) are tracked separately from the paper's
+    fault-free objective.
     """
 
     reference_cost: float = 0.0
@@ -28,10 +37,40 @@ class SimReport:
     n_moves: int = 0
     link_traffic: dict[Link, float] = field(default_factory=dict)
     per_window_cost: np.ndarray | None = None
+    # -- fault/degradation accounting (all zero in a fault-free replay) ------
+    n_delivered: int = 0
+    n_retries: int = 0
+    n_dropped: int = 0
+    n_unreachable: int = 0
+    n_evacuated: int = 0
+    n_lost: int = 0
+    n_skipped_moves: int = 0
+    evacuation_cost: float = 0.0
+    retry_cost: float = 0.0
+    retry_wait_cycles: float = 0.0
 
     @property
     def total_cost(self) -> float:
         return self.reference_cost + self.movement_cost
+
+    @property
+    def degraded_cost(self) -> float:
+        """Total traffic cost including recovery/retry overheads."""
+        return self.total_cost + self.evacuation_cost + self.retry_cost
+
+    @property
+    def completion_rate(self) -> float:
+        """Fraction of references actually delivered (1.0 when fault-free)."""
+        if self.n_fetches == 0:
+            return 1.0
+        return self.n_delivered / self.n_fetches
+
+    def accounts_for_all_fetches(self) -> bool:
+        """Every reference is delivered, dropped or unreachable."""
+        return (
+            self.n_delivered + self.n_dropped + self.n_unreachable
+            == self.n_fetches
+        )
 
     @property
     def max_link_load(self) -> float:

@@ -17,6 +17,15 @@ from .windows import WindowSet
 __all__ = ["save_trace", "load_trace", "save_schedule", "load_schedule"]
 
 
+def _require_keys(archive, path, required, kind: str) -> None:
+    missing = [k for k in required if k not in archive.files]
+    if missing:
+        raise ValueError(
+            f"{path} is not a {kind} archive: missing key(s) "
+            f"{', '.join(missing)} (present: {', '.join(archive.files)})"
+        )
+
+
 def save_trace(path, trace: Trace, windows: WindowSet | None = None) -> None:
     """Write a trace (and optionally its window set) to ``path`` (.npz)."""
     payload = {
@@ -28,27 +37,56 @@ def save_trace(path, trace: Trace, windows: WindowSet | None = None) -> None:
     }
     if windows is not None:
         if windows.n_steps != trace.n_steps:
-            raise ValueError("window set does not span the trace")
+            raise ValueError(
+                f"window set spans {windows.n_steps} steps but the trace "
+                f"has {trace.n_steps}"
+            )
         payload["window_starts"] = windows.starts
     np.savez_compressed(Path(path), **payload)
 
 
 def load_trace(path) -> tuple[Trace, WindowSet | None]:
-    """Read a trace written by :func:`save_trace`."""
-    with np.load(Path(path)) as archive:
-        n_steps, n_data, n_procs = (int(x) for x in archive["meta"])
-        trace = Trace(
-            steps=archive["steps"],
-            procs=archive["procs"],
-            data=archive["data"],
-            counts=archive["counts"],
-            n_steps=n_steps,
-            n_data=n_data,
-            n_procs=n_procs,
+    """Read a trace written by :func:`save_trace`.
+
+    Raises :class:`ValueError` naming ``path`` when the archive is missing
+    keys, has a malformed ``meta`` record, or holds out-of-range event
+    arrays (e.g. negative processor ids) — a corrupt or foreign ``.npz``
+    fails loudly instead of producing an inconsistent :class:`Trace`.
+    """
+    path = Path(path)
+    with np.load(path) as archive:
+        _require_keys(
+            archive, path, ("steps", "procs", "data", "counts", "meta"), "trace"
         )
-        windows = None
-        if "window_starts" in archive:
-            windows = WindowSet(starts=archive["window_starts"], n_steps=n_steps)
+        meta = archive["meta"]
+        if meta.shape != (3,):
+            raise ValueError(
+                f"{path}: trace meta must hold [n_steps, n_data, n_procs], "
+                f"got shape {meta.shape}"
+            )
+        n_steps, n_data, n_procs = (int(x) for x in meta)
+        if min(n_steps, n_data, n_procs) < 1:
+            raise ValueError(
+                f"{path}: trace meta must be positive, got n_steps={n_steps}, "
+                f"n_data={n_data}, n_procs={n_procs}"
+            )
+        try:
+            trace = Trace(
+                steps=archive["steps"],
+                procs=archive["procs"],
+                data=archive["data"],
+                counts=archive["counts"],
+                n_steps=n_steps,
+                n_data=n_data,
+                n_procs=n_procs,
+            )
+            windows = None
+            if "window_starts" in archive:
+                windows = WindowSet(
+                    starts=archive["window_starts"], n_steps=n_steps
+                )
+        except ValueError as exc:
+            raise ValueError(f"{path}: invalid trace archive: {exc}") from exc
     return trace, windows
 
 
@@ -64,15 +102,43 @@ def save_schedule(path, schedule) -> None:
 
 
 def load_schedule(path):
-    """Read a schedule written by :func:`save_schedule`."""
+    """Read a schedule written by :func:`save_schedule`.
+
+    Raises :class:`ValueError` naming ``path`` for missing keys, a
+    negative processor id in ``centers``, or a center/window shape
+    mismatch.
+    """
     from ..core.schedule import Schedule
 
-    with np.load(Path(path)) as archive:
-        windows = WindowSet(
-            starts=archive["window_starts"], n_steps=int(archive["n_steps"][0])
+    path = Path(path)
+    with np.load(path) as archive:
+        _require_keys(
+            archive,
+            path,
+            ("centers", "window_starts", "n_steps", "method"),
+            "schedule",
         )
-        return Schedule(
-            centers=archive["centers"],
-            windows=windows,
-            method=str(archive["method"][0]),
-        )
+        try:
+            windows = WindowSet(
+                starts=archive["window_starts"],
+                n_steps=int(archive["n_steps"][0]),
+            )
+            centers = archive["centers"]
+            if centers.ndim != 2 or centers.shape[1] != windows.n_windows:
+                raise ValueError(
+                    f"centers shape {centers.shape} does not match "
+                    f"{windows.n_windows} windows (expected (n_data, "
+                    f"{windows.n_windows}))"
+                )
+            if centers.size and centers.min() < 0:
+                raise ValueError(
+                    f"centers hold negative processor id "
+                    f"{int(centers.min())}; processor ids must be >= 0"
+                )
+            return Schedule(
+                centers=centers,
+                windows=windows,
+                method=str(archive["method"][0]),
+            )
+        except ValueError as exc:
+            raise ValueError(f"{path}: invalid schedule archive: {exc}") from exc

@@ -42,14 +42,32 @@ class WindowSet:
     def __post_init__(self) -> None:
         starts = np.asarray(self.starts, dtype=np.int64)
         object.__setattr__(self, "starts", starts)
+        if self.n_steps < 1:
+            raise ValueError(
+                f"a WindowSet needs a positive step horizon, got "
+                f"n_steps={self.n_steps}"
+            )
         if starts.ndim != 1 or len(starts) == 0:
             raise ValueError("a WindowSet needs at least one window")
         if starts[0] != 0:
-            raise ValueError("first window must start at step 0")
-        if np.any(np.diff(starts) <= 0):
-            raise ValueError("window starts must be strictly increasing")
+            raise ValueError(
+                f"first window must start at step 0, got start "
+                f"{int(starts[0])}; windows partition [0, n_steps) with no gap"
+            )
+        diffs = np.diff(starts)
+        if np.any(diffs <= 0):
+            i = int(np.argmax(diffs <= 0))
+            raise ValueError(
+                f"window starts must be strictly increasing: start[{i + 1}]="
+                f"{int(starts[i + 1])} does not follow start[{i}]="
+                f"{int(starts[i])} (an equal start would make window {i} empty)"
+            )
         if starts[-1] >= self.n_steps:
-            raise ValueError("last window would be empty")
+            raise ValueError(
+                f"last window would be empty: it starts at step "
+                f"{int(starts[-1])} but the trace has only {self.n_steps} "
+                f"steps (valid starts are 0..{self.n_steps - 1})"
+            )
 
     @property
     def n_windows(self) -> int:
@@ -101,7 +119,9 @@ def windows_by_step_count(trace_or_steps, steps_per_window: int) -> WindowSet:
         else int(trace_or_steps)
     )
     if steps_per_window < 1:
-        raise ValueError("steps_per_window must be >= 1")
+        raise ValueError(
+            f"steps_per_window must be >= 1, got {steps_per_window}"
+        )
     starts = np.arange(0, n_steps, steps_per_window, dtype=np.int64)
     # Fold a short trailing window into its predecessor to avoid windows
     # smaller than half the nominal size, unless it is the only window.
@@ -111,8 +131,18 @@ def windows_by_step_count(trace_or_steps, steps_per_window: int) -> WindowSet:
 
 
 def windows_from_boundaries(boundaries, n_steps: int) -> WindowSet:
-    """Build windows from explicit start steps (e.g. outer-loop markers)."""
+    """Build windows from explicit start steps (e.g. outer-loop markers).
+
+    Boundaries are deduplicated and a leading 0 is supplied if missing;
+    boundaries at or past ``n_steps`` are dropped.  Negative boundaries
+    are rejected outright rather than silently folded into window 0.
+    """
     starts = np.unique(np.asarray(list(boundaries), dtype=np.int64))
+    if len(starts) and starts[0] < 0:
+        bad = [int(b) for b in starts[starts < 0]]
+        raise ValueError(
+            f"window boundaries must be non-negative step indices, got {bad}"
+        )
     if len(starts) == 0 or starts[0] != 0:
         starts = np.concatenate([[0], starts])
     starts = starts[starts < n_steps]

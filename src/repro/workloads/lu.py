@@ -18,7 +18,6 @@ exactly the behaviour that rewards multiple-center scheduling.
 
 from __future__ import annotations
 
-import numpy as np
 
 from ..grid import Topology
 from ..trace import TraceBuilder, windows_from_boundaries

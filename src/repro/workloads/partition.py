@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..grid import Mesh2D, Topology
+from ..grid import Topology
 
 __all__ = [
     "row_wise_owners",

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.cli import main
+from repro.cli import EXIT_CONFIG_ERROR, EXIT_OK, EXIT_UNREACHABLE_DATA, main
 
 
 def run(capsys, *argv):
@@ -59,6 +59,58 @@ def test_extended_command(capsys):
     assert "Extended suite" in out
     assert "fft" not in out  # table shows sizes, not names, in rows
     assert "256" in out
+
+
+def test_faults_fault_free_exits_ok(capsys):
+    # no faults at all: every reference delivered, exit 0
+    assert main(["faults"]) == EXIT_OK
+    out = capsys.readouterr().out
+    assert "completion_pct: 100.0" in out
+    assert "unreachable: 0" in out
+
+
+def test_faults_with_drops_reports_retries(capsys):
+    code = main(["faults", "--drop-rate", "0.1"])
+    out = capsys.readouterr().out
+    assert code in (EXIT_OK, EXIT_UNREACHABLE_DATA)
+    assert "retried:" in out and "dropped:" in out
+
+
+def test_faults_config_error_exit_code(capsys):
+    # pid outside the 4x4 array is a configuration error -> exit 2
+    assert main(["faults", "--fail-node", "99"]) == EXIT_CONFIG_ERROR
+    err = capsys.readouterr().err
+    assert "error:" in err
+    assert "99" in err and "16 processors" in err
+
+
+def test_faults_bad_drop_rate_exit_code(capsys):
+    assert main(["faults", "--drop-rate", "1.5"]) == EXIT_CONFIG_ERROR
+    assert "[0, 1]" in capsys.readouterr().err
+
+
+def test_faults_unreachable_exit_code(capsys):
+    # a dead node with evacuation disabled strands its residents -> exit 3
+    code = main(["faults", "--fail-node", "5", "--no-evacuate"])
+    captured = capsys.readouterr()
+    assert code == EXIT_UNREACHABLE_DATA
+    assert "unreachable" in captured.err
+
+
+def test_faults_exit_codes_are_deterministic():
+    # the same invocation always lands on the same exit code
+    argv = ["faults", "--node-rate", "0.2", "--fault-seed", "4"]
+    codes = {main(argv) for _ in range(3)}
+    assert len(codes) == 1
+
+
+def test_faults_sweep_renders_table(capsys):
+    code = main(
+        ["faults", "--sweep", "--drop-rate", "0.05", "--reschedule"]
+    )
+    out = capsys.readouterr().out
+    assert code in (EXIT_OK, EXIT_UNREACHABLE_DATA)
+    assert "node_rate" in out and "completion_pct" in out
 
 
 def test_all_ablation_commands(capsys):

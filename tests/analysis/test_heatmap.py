@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.analysis import render_heatmap, render_numeric_grid
-from repro.grid import Mesh1D, Mesh2D, Torus2D
+from repro.grid import Mesh1D, Torus2D
 
 
 def test_2d_shape(mesh44):

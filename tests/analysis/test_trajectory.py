@@ -5,7 +5,7 @@ import pytest
 
 from repro.analysis import render_trajectory, trajectory_summary
 from repro.core import Schedule
-from repro.grid import Mesh1D, Mesh2D
+from repro.grid import Mesh1D
 from repro.trace import windows_by_step_count
 
 

@@ -12,7 +12,7 @@ from repro.core import (
     scds,
 )
 from repro.grid import Mesh1D, Mesh2D
-from repro.mem import CapacityError, CapacityPlan
+from repro.mem import CapacityPlan
 from repro.trace import build_reference_tensor
 from repro.workloads import trace_from_counts
 

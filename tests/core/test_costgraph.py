@@ -6,7 +6,6 @@ import pytest
 
 from repro.core import CostModel, build_cost_graph, shortest_center_path, solve_cost_graph
 from repro.core.costgraph import SINK, SOURCE, gomcds_via_graph
-from repro.grid import Mesh1D
 
 
 class TestStructure:

@@ -5,7 +5,7 @@ import math
 import numpy as np
 import pytest
 
-from repro.core import CostModel, evaluate_schedule, gomcds, omcds, scds
+from repro.core import CostModel, evaluate_schedule, gomcds, omcds
 from repro.grid import Mesh1D
 from repro.mem import CapacityPlan
 from repro.trace import build_reference_tensor

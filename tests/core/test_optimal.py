@@ -11,7 +11,7 @@ from repro.core import (
     scds,
     static_lower_bound,
 )
-from repro.grid import Mesh1D, Mesh2D
+from repro.grid import Mesh1D
 from repro.mem import CapacityError, CapacityPlan
 from repro.trace import build_reference_tensor
 from repro.workloads import trace_from_counts

@@ -5,7 +5,7 @@ import pytest
 
 from repro.core import evaluate_schedule, CostModel
 from repro.distrib import baseline_schedule, placement_for_shape, random_placement
-from repro.workloads import lu_workload, row_wise_owners
+from repro.workloads import row_wise_owners
 
 
 def test_row_wise_matches_partition_map(mesh44):

@@ -1,0 +1,162 @@
+"""FaultPlan: validation, window activation, seeded sampling, drops."""
+
+import pytest
+
+from repro.faults import FaultConfigError, FaultPlan, LinkFault, NodeFault
+from repro.grid import mesh_links
+
+
+class TestValidation:
+    def test_negative_pid_rejected(self):
+        with pytest.raises(FaultConfigError, match="negative pid"):
+            NodeFault(pid=-1)
+
+    def test_link_self_loop_rejected(self):
+        with pytest.raises(FaultConfigError, match="self-loop"):
+            LinkFault(src=3, dst=3)
+
+    def test_link_negative_pid_rejected(self):
+        with pytest.raises(FaultConfigError, match="negative pid"):
+            LinkFault(src=0, dst=-2)
+
+    def test_end_before_start_rejected(self):
+        with pytest.raises(FaultConfigError, match="end is exclusive"):
+            NodeFault(pid=0, start=3, end=3)
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(FaultConfigError, match=">= 0"):
+            NodeFault(pid=0, start=-1)
+
+    def test_drop_rate_must_be_probability(self):
+        with pytest.raises(FaultConfigError, match=r"\[0, 1\]"):
+            FaultPlan(drop_rate=1.5)
+
+    def test_validate_for_rejects_out_of_range_pid(self, mesh44):
+        plan = FaultPlan(node_faults=(NodeFault(pid=16),))
+        with pytest.raises(FaultConfigError, match="16 processors"):
+            plan.validate_for(mesh44)
+
+    def test_validate_for_rejects_out_of_range_link(self, mesh44):
+        plan = FaultPlan(link_faults=(LinkFault(src=0, dst=99),))
+        with pytest.raises(FaultConfigError, match="outside"):
+            plan.validate_for(mesh44)
+
+    def test_validate_for_rejects_late_activation(self, mesh44):
+        plan = FaultPlan(node_faults=(NodeFault(pid=1, start=10),))
+        with pytest.raises(FaultConfigError, match="only 3 windows"):
+            plan.validate_for(mesh44, n_windows=3)
+
+    def test_config_error_is_value_error(self):
+        # the CLI maps ValueError -> exit code 2; FaultConfigError must
+        # stay in that family
+        assert issubclass(FaultConfigError, ValueError)
+
+
+class TestActivation:
+    def test_windowed_fault_heals(self):
+        f = NodeFault(pid=2, start=1, end=3)
+        assert [f.active_in(w) for w in range(5)] == [
+            False, True, True, False, False,
+        ]
+
+    def test_permanent_fault_never_heals(self):
+        f = NodeFault(pid=2, start=2)
+        assert not f.active_in(1)
+        assert all(f.active_in(w) for w in range(2, 50))
+
+    def test_down_nodes_per_window(self):
+        plan = FaultPlan(
+            node_faults=(NodeFault(0, start=0, end=2), NodeFault(5, start=1))
+        )
+        assert plan.down_nodes(0) == {0}
+        assert plan.down_nodes(1) == {0, 5}
+        assert plan.down_nodes(2) == {5}
+
+    def test_down_links_directed(self):
+        plan = FaultPlan(link_faults=(LinkFault(src=1, dst=2),))
+        assert plan.down_links(0) == {(1, 2)}
+        assert (2, 1) not in plan.down_links(0)
+
+    def test_is_empty(self):
+        assert FaultPlan().is_empty
+        assert not FaultPlan(node_faults=(NodeFault(0),)).is_empty
+        assert not FaultPlan(drop_rate=0.1).is_empty
+
+
+class TestRandomSampling:
+    def test_same_seed_same_plan(self, mesh44):
+        a = FaultPlan.random(mesh44, 6, node_rate=0.3, link_rate=0.1, seed=7)
+        b = FaultPlan.random(mesh44, 6, node_rate=0.3, link_rate=0.1, seed=7)
+        assert a == b
+
+    def test_different_seed_different_plan(self, mesh44):
+        plans = {
+            FaultPlan.random(mesh44, 6, node_rate=0.5, seed=s).node_faults
+            for s in range(8)
+        }
+        assert len(plans) > 1
+
+    def test_min_survivors_respected(self, mesh44):
+        for seed in range(10):
+            plan = FaultPlan.random(
+                mesh44, 4, node_rate=1.0, seed=seed, min_survivors=3
+            )
+            assert len(plan.node_faults) <= mesh44.n_procs - 3
+
+    def test_sampled_plan_fits_machine(self, mesh44):
+        plan = FaultPlan.random(mesh44, 5, node_rate=0.4, link_rate=0.2, seed=3)
+        plan.validate_for(mesh44, n_windows=5)  # must not raise
+
+    def test_sampled_links_are_physical(self, mesh44):
+        plan = FaultPlan.random(mesh44, 5, link_rate=0.5, seed=11)
+        physical = set(mesh_links(mesh44))
+        assert plan.link_faults
+        assert all(f.link in physical for f in plan.link_faults)
+
+    def test_zero_rates_give_empty_plan(self, mesh44):
+        assert FaultPlan.random(mesh44, 5, seed=1).is_empty
+
+
+class TestDrops:
+    def test_deterministic_per_coordinates(self):
+        plan = FaultPlan(drop_rate=0.5, seed=42)
+        decisions = [
+            plan.drops_message(w, e, a)
+            for w in range(4) for e in range(10) for a in range(3)
+        ]
+        again = [
+            plan.drops_message(w, e, a)
+            for w in range(4) for e in range(10) for a in range(3)
+        ]
+        assert decisions == again
+        assert any(decisions) and not all(decisions)
+
+    def test_rate_extremes_short_circuit(self):
+        assert not FaultPlan(drop_rate=0.0).drops_message(0, 0, 0)
+        assert FaultPlan(drop_rate=1.0).drops_message(0, 0, 0)
+
+    def test_order_independence(self):
+        # counter-based RNG: evaluation order cannot change a decision
+        plan = FaultPlan(drop_rate=0.3, seed=5)
+        forward = [plan.drops_message(0, e, 0) for e in range(50)]
+        backward = [plan.drops_message(0, e, 0) for e in reversed(range(50))]
+        assert forward == backward[::-1]
+
+    def test_empirical_rate_tracks_drop_rate(self):
+        plan = FaultPlan(drop_rate=0.2, seed=9)
+        n = 2000
+        hits = sum(plan.drops_message(0, e, 0) for e in range(n))
+        assert 0.15 < hits / n < 0.25
+
+    def test_different_plan_seeds_decorrelate(self):
+        a = FaultPlan(drop_rate=0.5, seed=1)
+        b = FaultPlan(drop_rate=0.5, seed=2)
+        da = [a.drops_message(0, e, 0) for e in range(100)]
+        db = [b.drops_message(0, e, 0) for e in range(100)]
+        assert da != db
+
+
+def test_plan_is_hashable_value():
+    a = FaultPlan(node_faults=(NodeFault(1),), drop_rate=0.1, seed=3)
+    b = FaultPlan(node_faults=(NodeFault(1),), drop_rate=0.1, seed=3)
+    assert a == b and hash(a) == hash(b)

@@ -1,0 +1,114 @@
+"""Fault-aware rescheduling: dead cells are never chosen as centers."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    alive_window_mask,
+    evaluate_schedule,
+    gomcds,
+    reschedule_around_faults,
+)
+from repro.faults import FaultPlan, NodeFault
+from repro.mem import CapacityError
+from repro.sim import replay_schedule
+
+
+def test_empty_plan_reproduces_gomcds(lu8_tensor, model44, paper_capacity):
+    plain = gomcds(lu8_tensor, model44, paper_capacity)
+    faulted = reschedule_around_faults(
+        lu8_tensor, model44, FaultPlan(), paper_capacity
+    )
+    assert np.array_equal(faulted.centers, plain.centers)
+
+
+def test_centers_avoid_dead_cells(lu8_tensor, model44, paper_capacity):
+    plan = FaultPlan(
+        node_faults=(NodeFault(pid=5, start=0), NodeFault(pid=9, start=2, end=4))
+    )
+    schedule = reschedule_around_faults(
+        lu8_tensor, model44, plan, paper_capacity
+    )
+    alive = alive_window_mask(plan, lu8_tensor.n_windows, model44.n_procs)
+    for w in range(lu8_tensor.n_windows):
+        chosen = set(int(c) for c in schedule.centers[:, w])
+        dead = set(np.nonzero(~alive[w])[0].tolist())
+        assert not chosen & dead, f"window {w} placed data on dead nodes"
+
+
+def test_alive_window_mask_shape_and_healing():
+    plan = FaultPlan(node_faults=(NodeFault(pid=2, start=1, end=3),))
+    alive = alive_window_mask(plan, n_windows=4, n_procs=6)
+    assert alive.shape == (4, 6)
+    assert alive[0, 2] and not alive[1, 2] and not alive[2, 2] and alive[3, 2]
+    assert alive[:, [0, 1, 3, 4, 5]].all()
+
+
+def test_whole_array_death_raises(lu8_tensor, model44):
+    plan = FaultPlan(
+        node_faults=tuple(NodeFault(pid=p, start=0) for p in range(16))
+    )
+    with pytest.raises(CapacityError, match="no surviving processor"):
+        reschedule_around_faults(lu8_tensor, model44, plan)
+
+
+def test_capacity_respected_on_survivors(lu8_tensor, model44, paper_capacity):
+    plan = FaultPlan(
+        node_faults=(NodeFault(pid=0, start=0), NodeFault(pid=1, start=0))
+    )
+    schedule = reschedule_around_faults(
+        lu8_tensor, model44, plan, paper_capacity
+    )
+    caps = paper_capacity.capacities
+    for w in range(lu8_tensor.n_windows):
+        occupancy = np.bincount(
+            schedule.centers[:, w], minlength=model44.n_procs
+        )
+        assert (occupancy <= caps).all()
+
+
+def test_rescheduling_beats_naive_replay(
+    lu8, lu8_tensor, model44, paper_capacity
+):
+    plan = FaultPlan(
+        node_faults=(NodeFault(pid=5, start=0), NodeFault(pid=10, start=1))
+    )
+    naive = replay_schedule(
+        lu8.trace,
+        gomcds(lu8_tensor, model44, paper_capacity),
+        model44,
+        capacity=paper_capacity,
+        faults=plan,
+    )
+    informed = replay_schedule(
+        lu8.trace,
+        reschedule_around_faults(lu8_tensor, model44, plan, paper_capacity),
+        model44,
+        capacity=paper_capacity,
+        faults=plan,
+    )
+    assert informed.accounts_for_all_fetches()
+    assert informed.completion_rate >= naive.completion_rate
+    assert informed.degraded_cost <= naive.degraded_cost
+
+
+def test_rescheduled_analytic_cost_is_sane(lu8_tensor, model44, paper_capacity):
+    # avoiding dead nodes can only cost more than the unconstrained optimum
+    plan = FaultPlan(node_faults=(NodeFault(pid=5, start=0),))
+    plain = evaluate_schedule(
+        gomcds(lu8_tensor, model44, paper_capacity), lu8_tensor, model44
+    )
+    faulted = evaluate_schedule(
+        reschedule_around_faults(lu8_tensor, model44, plan, paper_capacity),
+        lu8_tensor,
+        model44,
+    )
+    assert faulted.total >= plain.total
+    assert faulted.total < np.inf
+
+
+def test_method_tag_and_meta(lu8_tensor, model44):
+    plan = FaultPlan(node_faults=(NodeFault(pid=3, start=0),))
+    schedule = reschedule_around_faults(lu8_tensor, model44, plan)
+    assert schedule.method == "GOMCDS+faults"
+    assert schedule.meta["n_node_faults"] == 1

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.grid import Mesh1D, Mesh2D, Torus2D, XYRouter
+from repro.grid import Mesh1D, Torus2D, XYRouter
 
 
 @pytest.fixture

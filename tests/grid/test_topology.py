@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.grid import Mesh1D, Mesh2D, Torus2D
+from repro.grid import Mesh2D, Torus2D
 
 
 class TestMesh2D:

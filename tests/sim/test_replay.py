@@ -15,7 +15,6 @@ from repro.core import (
 from repro.distrib import baseline_schedule
 from repro.mem import CapacityError, CapacityPlan
 from repro.sim import replay_schedule
-from repro.trace import build_reference_tensor
 
 
 class TestAgreementWithAnalyticModel:

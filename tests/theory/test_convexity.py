@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.core import CostModel
-from repro.grid import Mesh1D, Mesh2D, Torus2D
+from repro.grid import Mesh1D, Torus2D
 from repro.theory import (
     is_convex_sequence,
     is_separable_convex,

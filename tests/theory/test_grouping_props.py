@@ -3,7 +3,7 @@
 import numpy as np
 
 from repro.core import CostModel
-from repro.grid import Mesh1D, Mesh2D
+from repro.grid import Mesh1D
 from repro.theory import (
     grouped_cost,
     separate_cost,

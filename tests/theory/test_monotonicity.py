@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.core import CostModel
-from repro.grid import Mesh1D, Mesh2D
+from repro.grid import Mesh1D
 from repro.theory import (
     closest_center_pair,
     is_strictly_increasing,

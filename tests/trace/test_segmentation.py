@@ -3,7 +3,6 @@
 import numpy as np
 import pytest
 
-from repro.grid import Mesh2D
 from repro.trace import (
     TraceBuilder,
     segment_by_similarity,

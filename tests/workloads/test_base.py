@@ -1,13 +1,11 @@
 """WorkloadInstance and base-helper tests."""
 
-import numpy as np
 import pytest
 
 from repro.trace import windows_by_step_count
 from repro.workloads import (
     WorkloadInstance,
     combine_windows,
-    lu_workload,
     matrix_data_ids,
 )
 

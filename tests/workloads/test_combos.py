@@ -9,7 +9,6 @@ from repro.workloads import (
     code_workload,
     combine,
     lu_workload,
-    matmul_workload,
 )
 
 

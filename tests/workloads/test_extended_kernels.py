@@ -48,7 +48,7 @@ class TestFFT:
     def test_late_stages_cost_more_under_row_wise(self, mesh44):
         """The stride-doubling signature: under the block layout, stage
         costs are non-decreasing in the stride."""
-        from repro.core import CostModel, Schedule, evaluate_schedule
+        from repro.core import CostModel, evaluate_schedule
         from repro.distrib import baseline_schedule
 
         wl = fft_workload(64, mesh44)

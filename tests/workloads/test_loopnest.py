@@ -1,6 +1,5 @@
 """Loop-nest DSL tests."""
 
-import numpy as np
 import pytest
 
 from repro.workloads import (

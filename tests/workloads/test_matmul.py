@@ -1,6 +1,5 @@
 """Matrix-square workload (benchmark 2) tests."""
 
-import numpy as np
 import pytest
 
 from repro.workloads import matmul_workload, matrix_data_ids, row_wise_owners

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.grid import Mesh1D, Mesh2D
+from repro.grid import Mesh1D
 from repro.workloads import (
     block_cyclic_owners,
     block_owners,
