@@ -47,7 +47,9 @@ from .faults import (
     NodeFault,
     RetryPolicy,
 )
+from .diagnostics import Diagnostic, Severity
 from .grid import FaultAwareRouter, Mesh1D, Mesh2D, Torus2D, XYRouter
+from .lint import LintContext, LintReport, run_lint
 from .mem import CapacityError, CapacityPlan
 from .sim import PIMArray, ResidencyError, SimReport, replay_schedule
 from .trace import (
@@ -116,4 +118,10 @@ __all__ = [
     "RetryPolicy",
     "FaultAwareRouter",
     "reschedule_around_faults",
+    # static verifier (docs/lint.md)
+    "Diagnostic",
+    "Severity",
+    "LintContext",
+    "LintReport",
+    "run_lint",
 ]

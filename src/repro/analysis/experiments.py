@@ -401,7 +401,7 @@ def ablation_online_lookahead(
     bench: int = 5,
     n: int = 16,
     mesh: tuple[int, int] = (4, 4),
-    hysteresis: tuple[float, ...] = (1.0, 2.0, 4.0, float("inf")),
+    hysteresis: tuple[float, ...] = (1.0, 2.0, 4.0, np.inf),
     seed: int = 1998,
 ) -> list[dict]:
     """Ablation F: the price of scheduling online (no lookahead).

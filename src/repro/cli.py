@@ -8,12 +8,15 @@ Usage::
     python -m repro ablation-window | ablation-array | ablation-memory \
         | ablation-grouping
     python -m repro faults [--node-rate 0.2] [--fail-node 5] [--sweep]
+    python -m repro lint [--bench 1 --size 8 | --schedule s.npz] \
+        [--trace t.npz] [--faults plan.json] [--format human|json|sarif]
 
 Exit codes are deterministic: ``0`` on success, ``2`` on a configuration
 error (bad arguments, a fault plan that does not fit the machine, an
 infeasible capacity), ``3`` when a fault replay leaves references
 unreachable or data stranded (degradation exceeded what recovery could
-absorb).
+absorb).  ``lint`` follows the linter convention instead: ``0`` clean,
+``1`` warnings only, ``2`` errors (see ``docs/lint.md``).
 """
 
 from __future__ import annotations
@@ -122,6 +125,7 @@ def main(argv: list[str] | None = None) -> int:
     sub.add_parser("seeds", help="seed sensitivity of the improvements")
     sub.add_parser("ablation-budget", help="movement-budget Pareto frontier (K)")
     _add_faults_parser(sub)
+    _add_lint_parser(sub)
     args = parser.parse_args(argv)
 
     try:
@@ -187,6 +191,152 @@ def _add_faults_parser(sub) -> None:
         "--sweep", action="store_true",
         help="sweep node-failure rates instead of a single replay",
     )
+
+
+def _add_lint_parser(sub) -> None:
+    parser = sub.add_parser(
+        "lint",
+        help="static schedule/trace/fault-plan verifier with coded "
+        "diagnostics (docs/lint.md); exits 0 clean / 1 warnings / 2 errors",
+    )
+    parser.add_argument(
+        "--schedule", metavar="PATH", help=".npz schedule archive to lint"
+    )
+    parser.add_argument(
+        "--trace", metavar="PATH", help=".npz trace archive (may carry windows)"
+    )
+    parser.add_argument(
+        "--faults", metavar="PATH", help="fault-plan JSON to lint against"
+    )
+    parser.add_argument(
+        "--mesh", type=int, nargs=2, default=[4, 4], metavar=("ROWS", "COLS"),
+        help="processor array the artifacts target",
+    )
+    parser.add_argument(
+        "--bench", type=int, default=None,
+        help="lint a named paper workload (1-5) instead of files",
+    )
+    parser.add_argument("--size", type=int, default=8, help="matrix size n")
+    parser.add_argument("--scheduler", default="GOMCDS")
+    parser.add_argument("--seed", type=int, default=1998)
+    parser.add_argument(
+        "--capacity", type=int, default=None,
+        help="uniform per-processor capacity to lint against",
+    )
+    parser.add_argument(
+        "--capacity-multiplier", type=float, default=2.0,
+        help="paper-rule capacity sizing for --bench runs",
+    )
+    parser.add_argument(
+        "--no-capacity", action="store_true",
+        help="skip all capacity rules (unbounded memories)",
+    )
+    parser.add_argument(
+        "--windows", type=int, default=None,
+        help="window horizon when linting a bare fault plan",
+    )
+    parser.add_argument(
+        "--format", choices=("human", "json", "sarif"), default="human",
+        dest="fmt", help="report format",
+    )
+    parser.add_argument(
+        "--select", nargs="+", metavar="CODE", default=None,
+        help="run only these codes (prefixes like SCH expand)",
+    )
+    parser.add_argument(
+        "--ignore", nargs="+", metavar="CODE", default=None,
+        help="disable these codes (prefixes expand)",
+    )
+    parser.add_argument(
+        "--severity", action="append", default=[], metavar="CODE=LEVEL",
+        help="override a rule's severity, e.g. THY001=error (repeatable)",
+    )
+    parser.add_argument(
+        "--output", metavar="PATH", default=None,
+        help="write the report to a file instead of stdout",
+    )
+
+
+def _run_lint(args) -> int:
+    from .diagnostics import Severity
+    from .grid import Mesh2D
+    from .lint import (
+        load_context,
+        render_human,
+        render_json,
+        render_sarif,
+        run_lint,
+        workload_context,
+    )
+    from .mem import CapacityPlan
+    from .trace import window_per_step
+
+    topology = Mesh2D(*args.mesh)
+    capacity = (
+        None
+        if args.capacity is None
+        else CapacityPlan.uniform(topology.n_procs, args.capacity)
+    )
+    file_context, failures = load_context(
+        schedule_path=args.schedule,
+        trace_path=args.trace,
+        faults_path=args.faults,
+        topology=topology,
+        capacity=capacity,
+    )
+    if args.bench is not None:
+        context = workload_context(
+            args.bench,
+            args.size,
+            topology,
+            scheduler=args.scheduler,
+            seed=args.seed,
+            capacity_multiplier=args.capacity_multiplier,
+            faults=file_context.faults,
+        )
+        # file artifacts override the generated ones, so a schedule
+        # archive can be linted against a named workload's trace
+        if file_context.schedule is not None:
+            context.schedule = file_context.schedule
+        if file_context.trace is not None:
+            context.trace = file_context.trace
+            context.windows = file_context.windows or context.windows
+        if capacity is not None:
+            context.capacity = capacity
+    else:
+        context = file_context
+        if context.windows is None and args.windows is not None:
+            context.windows = window_per_step(args.windows)
+    if args.no_capacity:
+        context.capacity = None
+
+    severities = {}
+    for override in args.severity:
+        code, _, level = override.partition("=")
+        if not level:
+            raise ValueError(
+                f"--severity expects CODE=LEVEL, got {override!r}"
+            )
+        severities[code.strip().upper()] = Severity.parse(level)
+
+    report = run_lint(
+        context, select=args.select, ignore=args.ignore, severities=severities
+    )
+    report.diagnostics[:0] = failures
+
+    renderer = {
+        "human": render_human,
+        "json": render_json,
+        "sarif": render_sarif,
+    }[args.fmt]
+    text = renderer(report)
+    if args.output:
+        from pathlib import Path
+
+        Path(args.output).write_text(text + "\n")
+    else:
+        print(text)
+    return report.exit_code
 
 
 def _run_faults(args) -> int:
@@ -276,6 +426,10 @@ def _run_faults(args) -> int:
 
 
 def _dispatch(args) -> int:
+    if args.command == "faults":
+        return _run_faults(args)
+    if args.command == "lint":
+        return _run_lint(args)
     if args.command in ("table1", "table2"):
         sizes = tuple(args.sizes if not args.fast else [8, 16])
         runner = run_table1 if args.command == "table1" else run_table2
@@ -325,8 +479,6 @@ def _dispatch(args) -> int:
         print(_render_rows(seed_sensitivity()))
     elif args.command == "ablation-budget":
         print(_render_rows(ablation_movement_budget()))
-    elif args.command == "faults":
-        return _run_faults(args)
     return EXIT_OK
 
 

@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..diagnostics import FLT004
 from ..faults import FaultPlan
 from ..mem import CapacityError, CapacityPlan, OccupancyTracker
 from ..trace import ReferenceTensor
@@ -80,9 +81,13 @@ def reschedule_around_faults(
     alive = alive_window_mask(plan, n_windows, n_procs)
     dead_windows = np.nonzero(~alive.any(axis=1))[0]
     if len(dead_windows):
+        # Same code and wording as the static FLT004 lint rule: the plan
+        # kills the whole array, so no placement can exist.
         raise CapacityError(
             f"window {int(dead_windows[0])} has no surviving processor; "
-            "the fault plan kills the whole array"
+            "the fault plan kills the whole array",
+            window=int(dead_windows[0]),
+            code=FLT004,
         )
 
     costs = model.all_placement_costs(tensor)  # (D, W, m)

@@ -11,6 +11,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..diagnostics import SCH001, code_message
 from ..trace import WindowSet
 
 __all__ = ["Schedule"]
@@ -90,16 +91,69 @@ class Schedule:
         return self.n_movements() == 0
 
     def occupancy(self, n_procs: int) -> np.ndarray:
-        """``(n_windows, n_procs)`` data-item residency counts per window."""
-        out = np.zeros((self.n_windows, n_procs), dtype=np.int64)
-        for w in range(self.n_windows):
-            np.add.at(out[w], self.centers[:, w], 1)
-        return out
+        """``(n_windows, n_procs)`` data-item residency counts per window.
+
+        Counts every datum in every window, so schedules with movements
+        are accounted per-window (a datum moving between windows ``w`` and
+        ``w+1`` occupies its old center in ``w`` and its new one in
+        ``w+1``).  Raises :class:`ValueError` carrying the ``SCH001``
+        residency code when any center names a processor outside
+        ``0..n_procs-1`` instead of surfacing a bare ``IndexError``.
+        """
+        if n_procs < 1:
+            raise ValueError("n_procs must be positive")
+        if self.centers.size and int(self.centers.max()) >= n_procs:
+            d, w = (
+                int(x)
+                for x in np.unravel_index(
+                    int(self.centers.argmax()), self.centers.shape
+                )
+            )
+            raise ValueError(
+                code_message(
+                    SCH001,
+                    f"center {int(self.centers[d, w])} of datum {d} in "
+                    f"window {w} is outside the {n_procs}-processor array",
+                )
+            )
+        offsets = np.arange(self.n_windows, dtype=np.int64) * n_procs
+        counts = np.bincount(
+            (self.centers + offsets[None, :]).ravel(),
+            minlength=self.n_windows * n_procs,
+        )
+        return counts.reshape(self.n_windows, n_procs)
 
     def restricted_to(self, data_ids: np.ndarray) -> "Schedule":
-        """Schedule for a subset of data (rows re-indexed in given order)."""
+        """Schedule for a subset of data (rows re-indexed in given order).
+
+        ``data_ids`` is either a 1-D vector of datum ids (each in
+        ``0..n_data-1``, no duplicates) or a boolean mask of length
+        ``n_data``.  Invalid selections raise :class:`ValueError` instead
+        of silently wrapping around via negative indexing.
+        """
+        ids = np.asarray(data_ids)
+        if ids.dtype == np.bool_:
+            if ids.shape != (self.n_data,):
+                raise ValueError(
+                    f"boolean mask has shape {ids.shape}, expected "
+                    f"({self.n_data},)"
+                )
+            ids = np.nonzero(ids)[0]
+        else:
+            ids = ids.astype(np.int64)
+            if ids.ndim != 1:
+                raise ValueError(
+                    "data_ids must be a 1-D id vector or boolean mask"
+                )
+            if len(ids) and (ids.min() < 0 or ids.max() >= self.n_data):
+                bad = int(ids[(ids < 0) | (ids >= self.n_data)][0])
+                raise ValueError(
+                    f"datum id {bad} is outside 0..{self.n_data - 1}"
+                )
+            if len(np.unique(ids)) != len(ids):
+                raise ValueError("data_ids must not contain duplicates")
         return Schedule(
-            centers=self.centers[np.asarray(data_ids)],
+            centers=self.centers[ids],
             windows=self.windows,
             method=self.method,
             meta=dict(self.meta),

@@ -1,0 +1,209 @@
+"""Stable diagnostic codes shared by static lint and dynamic checks.
+
+Every invariant the system enforces — single-copy residency, per-window
+capacity, fault-plan consistency, cost-accounting agreement — carries a
+stable code (``SCH002``, ``FLT003``, ...).  The static analyzer in
+:mod:`repro.lint` *reports* violations as :class:`Diagnostic` records;
+the dynamic enforcement sites (:class:`repro.mem.CapacityError`,
+:class:`repro.sim.ResidencyError`, :class:`repro.faults.FaultConfigError`
+raise sites) embed the same code in their messages, so a failure observed
+mid-simulation names exactly the rule that would have flagged it before
+the run (``docs/lint.md`` catalogues all codes).
+
+This module is a dependency leaf: it imports nothing from ``repro`` so
+that ``mem``, ``sim``, ``trace`` and ``faults`` can all use it without
+cycles.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+__all__ = [
+    "Severity",
+    "Diagnostic",
+    "code_message",
+    "coord_suffix",
+    # schedule codes
+    "SCH001",
+    "SCH002",
+    "SCH003",
+    "SCH004",
+    # trace/window codes
+    "TRC001",
+    "TRC002",
+    "TRC003",
+    # fault-plan codes
+    "FLT001",
+    "FLT002",
+    "FLT003",
+    "FLT004",
+    "FLT005",
+    "FLT006",
+    # cost-accounting codes
+    "CST001",
+    "CST002",
+    # theory-backed codes
+    "THY001",
+    "THY002",
+    "ALL_CODES",
+]
+
+# Residency: a datum must have exactly one valid center per window (Def. 3).
+SCH001 = "SCH001"
+# Capacity: per-window occupancy of a processor exceeds its memory.
+SCH002 = "SCH002"
+# Movement accounting inconsistent with the center transitions.
+SCH003 = "SCH003"
+# Schedule does not fit its companion artifacts (trace/topology/capacity).
+SCH004 = "SCH004"
+
+# Trace event arrays malformed (ids out of range, unsorted, bad counts).
+TRC001 = "TRC001"
+# Window set malformed or mismatched against its trace.
+TRC002 = "TRC002"
+# Degenerate segmentation: a window holds no reference events.
+TRC003 = "TRC003"
+
+# Fault names a processor outside the array.
+FLT001 = "FLT001"
+# Fault activates outside the schedule's window horizon.
+FLT002 = "FLT002"
+# Link fault names a non-adjacent processor pair (no such wire exists).
+FLT003 = "FLT003"
+# Some window has no surviving processor (the plan kills the array).
+FLT004 = "FLT004"
+# Surviving memory cannot hold the data (evacuation must strand items).
+FLT005 = "FLT005"
+# Schedule places a datum on a node that is down during that window.
+FLT006 = "FLT006"
+
+# Analytic evaluator disagrees with the cost-graph formulation.
+CST001 = "CST001"
+# Producer-recorded cost in schedule meta disagrees with evaluation.
+CST002 = "CST002"
+
+# One-step improvable center (violates the §4 monotonicity argument).
+THY001 = "THY001"
+# Placement-cost row is not separable convex (Lemma 1 precondition).
+THY002 = "THY002"
+
+ALL_CODES = (
+    SCH001, SCH002, SCH003, SCH004,
+    TRC001, TRC002, TRC003,
+    FLT001, FLT002, FLT003, FLT004, FLT005, FLT006,
+    CST001, CST002,
+    THY001, THY002,
+)
+
+
+class Severity(enum.IntEnum):
+    """Diagnostic severity; larger is worse (so ``max`` picks the gate)."""
+
+    INFO = 0
+    WARNING = 1
+    ERROR = 2
+
+    def __str__(self) -> str:
+        return self.name.lower()
+
+    @staticmethod
+    def parse(text: str) -> "Severity":
+        try:
+            return Severity[text.strip().upper()]
+        except KeyError:
+            known = ", ".join(s.name.lower() for s in Severity)
+            raise ValueError(
+                f"unknown severity {text!r}; expected one of {known}"
+            ) from None
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One finding: a coded, located, actionable violation report.
+
+    Attributes
+    ----------
+    code:
+        Stable rule code (``SCH001``...); stable across releases.
+    severity:
+        :class:`Severity` after any per-run overrides.
+    message:
+        Human-readable statement of what is wrong (no code prefix; the
+        renderers add it).
+    datum, window, processor:
+        The violation's coordinates where meaningful; ``None`` when a
+        coordinate does not apply (e.g. a whole-plan contradiction).
+    hint:
+        Optional one-line suggestion for fixing the input.
+    """
+
+    code: str
+    severity: Severity
+    message: str
+    datum: int | None = None
+    window: int | None = None
+    processor: int | None = None
+    hint: str | None = None
+
+    @property
+    def location(self) -> str:
+        """Slash-path form of the coordinates (used by SARIF output)."""
+        parts = []
+        for name, value in (
+            ("datum", self.datum),
+            ("window", self.window),
+            ("processor", self.processor),
+        ):
+            if value is not None:
+                parts.append(f"{name}/{value}")
+        return "/".join(parts) if parts else "schedule"
+
+    def to_dict(self) -> dict:
+        """JSON-ready mapping (stable key order for golden tests)."""
+        out = {
+            "code": self.code,
+            "severity": str(self.severity),
+            "message": self.message,
+        }
+        for key in ("datum", "window", "processor"):
+            value = getattr(self, key)
+            if value is not None:
+                out[key] = int(value)
+        if self.hint:
+            out["hint"] = self.hint
+        return out
+
+    def render(self) -> str:
+        """One-line human rendering: ``code severity: message (coords)``."""
+        suffix = coord_suffix(self.datum, self.window, self.processor)
+        hint = f"\n    hint: {self.hint}" if self.hint else ""
+        return f"{self.code} {self.severity}: {self.message}{suffix}{hint}"
+
+
+def coord_suffix(
+    datum: int | None = None,
+    window: int | None = None,
+    processor: int | None = None,
+) -> str:
+    """Uniform ``(datum=d, window=w, processor=p)`` suffix for messages.
+
+    The same helper feeds both static diagnostics and the dynamic error
+    types, keeping the two report formats textually identical.
+    """
+    parts = []
+    if datum is not None:
+        parts.append(f"datum={int(datum)}")
+    if window is not None:
+        parts.append(f"window={int(window)}")
+    if processor is not None:
+        parts.append(f"processor={int(processor)}")
+    if not parts:
+        return ""
+    return f" ({', '.join(parts)})"
+
+
+def code_message(code: str, message: str) -> str:
+    """Prefix ``message`` with its diagnostic code: ``[SCH002] ...``."""
+    return f"[{code}] {message}"

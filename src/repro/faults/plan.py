@@ -22,9 +22,11 @@ equal plans inject identical faults.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Iterator
 
 import numpy as np
 
+from ..diagnostics import FLT001, FLT002, Diagnostic, Severity, code_message
 from ..grid import Link, Topology
 
 __all__ = ["FaultConfigError", "NodeFault", "LinkFault", "FaultPlan"]
@@ -140,28 +142,128 @@ class FaultPlan:
 
     # -- validation ----------------------------------------------------------
 
-    def validate_for(self, topology: Topology, n_windows: int | None = None) -> None:
-        """Raise :class:`FaultConfigError` unless the plan fits the machine."""
-        n = topology.n_procs
-        for f in self.node_faults:
+    def config_violations(
+        self, topology: Topology | None, n_windows: int | None = None
+    ) -> Iterator[Diagnostic]:
+        """Every way the plan fails to fit the machine, as coded diagnostics.
+
+        Shared between :meth:`validate_for` (the dynamic gate, which raises
+        on the first violation) and the ``FLT001``/``FLT002`` rules of
+        :mod:`repro.lint` (the static pass, which reports them all) — so
+        both paths emit identical codes and messages.  Either bound may be
+        ``None`` to skip its half of the checks.
+        """
+        n = None if topology is None else topology.n_procs
+        if n is None:
+            if n_windows is None:
+                return
+            node_faults: tuple[NodeFault, ...] = ()
+            link_faults: tuple[LinkFault, ...] = ()
+        else:
+            node_faults, link_faults = self.node_faults, self.link_faults
+        for f in node_faults:
             if f.pid >= n:
-                raise FaultConfigError(
-                    f"node fault names pid {f.pid}, but the array has only "
-                    f"{n} processors"
+                yield Diagnostic(
+                    code=FLT001,
+                    severity=Severity.ERROR,
+                    message=(
+                        f"node fault names pid {f.pid}, but the array has "
+                        f"only {n} processors"
+                    ),
+                    processor=f.pid,
                 )
-        for f in self.link_faults:
+        for f in link_faults:
             if f.src >= n or f.dst >= n:
-                raise FaultConfigError(
-                    f"link fault {f.src} -> {f.dst} names pids outside the "
-                    f"{n}-processor array"
+                yield Diagnostic(
+                    code=FLT001,
+                    severity=Severity.ERROR,
+                    message=(
+                        f"link fault {f.src} -> {f.dst} names pids outside "
+                        f"the {n}-processor array"
+                    ),
+                    processor=f.src if f.src >= n else f.dst,
                 )
         if n_windows is not None:
             for f in (*self.node_faults, *self.link_faults):
                 if f.start >= n_windows:
-                    raise FaultConfigError(
-                        f"fault {f} activates at window {f.start}, but the "
-                        f"schedule has only {n_windows} windows"
+                    yield Diagnostic(
+                        code=FLT002,
+                        severity=Severity.ERROR,
+                        message=(
+                            f"fault {f} activates at window {f.start}, but "
+                            f"the schedule has only {n_windows} windows"
+                        ),
+                        window=f.start,
                     )
+
+    def validate_for(self, topology: Topology, n_windows: int | None = None) -> None:
+        """Raise :class:`FaultConfigError` unless the plan fits the machine."""
+        for diag in self.config_violations(topology, n_windows):
+            raise FaultConfigError(code_message(diag.code, diag.message))
+
+    # -- persistence -----------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """JSON-ready mapping; inverse of :meth:`from_dict`."""
+        return {
+            "node_faults": [
+                {"pid": f.pid, "start": f.start, "end": f.end}
+                for f in self.node_faults
+            ],
+            "link_faults": [
+                {"src": f.src, "dst": f.dst, "start": f.start, "end": f.end}
+                for f in self.link_faults
+            ],
+            "drop_rate": self.drop_rate,
+            "seed": self.seed,
+        }
+
+    @staticmethod
+    def from_dict(payload: dict) -> "FaultPlan":
+        """Build a plan from :meth:`to_dict` output (or hand-written JSON)."""
+        if not isinstance(payload, dict):
+            raise FaultConfigError(
+                f"a fault plan must be a JSON object, got {type(payload).__name__}"
+            )
+        unknown = set(payload) - {"node_faults", "link_faults", "drop_rate", "seed"}
+        if unknown:
+            raise FaultConfigError(
+                f"unknown fault-plan field(s): {', '.join(sorted(unknown))}"
+            )
+        try:
+            node_faults = tuple(
+                NodeFault(**entry) for entry in payload.get("node_faults", ())
+            )
+            link_faults = tuple(
+                LinkFault(**entry) for entry in payload.get("link_faults", ())
+            )
+        except TypeError as exc:
+            raise FaultConfigError(f"malformed fault entry: {exc}") from exc
+        return FaultPlan(
+            node_faults=node_faults,
+            link_faults=link_faults,
+            drop_rate=float(payload.get("drop_rate", 0.0)),
+            seed=int(payload.get("seed", 0)),
+        )
+
+    def save_json(self, path) -> None:
+        """Write the plan as a JSON document at ``path``."""
+        import json
+        from pathlib import Path
+
+        Path(path).write_text(json.dumps(self.to_dict(), indent=2) + "\n")
+
+    @staticmethod
+    def load_json(path) -> "FaultPlan":
+        """Read a plan written by :meth:`save_json` (or authored by hand)."""
+        import json
+        from pathlib import Path
+
+        try:
+            payload = json.loads(Path(path).read_text())
+        except json.JSONDecodeError as exc:
+            raise FaultConfigError(f"{path}: not valid JSON: {exc}") from exc
+        return FaultPlan.from_dict(payload)
 
     # -- deterministic message drops ------------------------------------------
 

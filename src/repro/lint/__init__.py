@@ -1,0 +1,48 @@
+"""Static analysis of schedules, traces and fault plans (``repro lint``).
+
+The paper's correctness surface is declarative — single-copy residency,
+per-window capacity, x-y cost consistency — so it can be *proved* from
+the ``Schedule``/``WindowSet``/``FaultPlan`` objects alone, before any
+simulation runs.  This package is that pre-flight pass: a registry of
+coded rules (``SCH``/``TRC``/``FLT``/``CST``/``THY`` families, catalogued
+in ``docs/lint.md``), an engine with per-rule enable/disable and severity
+overrides, and renderers for human, JSON and SARIF 2.1.0 output.  The
+dynamic enforcement sites raise errors carrying the same codes, so a
+violation reads identically whether caught statically or mid-replay.
+"""
+
+from ..diagnostics import ALL_CODES, Diagnostic, Severity
+from .context import LintContext
+from .engine import (
+    EXIT_CLEAN,
+    EXIT_ERRORS,
+    EXIT_WARNINGS,
+    LintReport,
+    run_lint,
+)
+from .loaders import load_context, workload_context
+from .output import SARIF_SCHEMA_URI, render_human, render_json, render_sarif
+from .registry import RULES, Rule, resolve_codes
+from .schedule_rules import occupancy_overflows
+
+__all__ = [
+    "Diagnostic",
+    "Severity",
+    "ALL_CODES",
+    "LintContext",
+    "LintReport",
+    "run_lint",
+    "RULES",
+    "Rule",
+    "resolve_codes",
+    "render_human",
+    "render_json",
+    "render_sarif",
+    "SARIF_SCHEMA_URI",
+    "load_context",
+    "workload_context",
+    "occupancy_overflows",
+    "EXIT_CLEAN",
+    "EXIT_WARNINGS",
+    "EXIT_ERRORS",
+]

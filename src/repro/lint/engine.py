@@ -1,0 +1,150 @@
+"""The lint engine: run registered rules over a context, gate on severity.
+
+``run_lint`` executes every applicable rule (per-rule enable/disable via
+``select``/``ignore``, severity overrides via ``severities``) and folds
+the findings into a :class:`LintReport` whose ``exit_code`` implements
+the CLI contract: 0 clean, 1 warnings only, 2 errors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping
+
+from ..diagnostics import Diagnostic, Severity
+from .context import LintContext
+from .registry import RULES, resolve_codes
+
+# Importing the rule modules populates the registry.
+from . import schedule_rules  # noqa: F401
+from . import trace_rules  # noqa: F401
+from . import fault_rules  # noqa: F401
+from . import cost_rules  # noqa: F401
+from . import theory_rules  # noqa: F401
+
+__all__ = [
+    "LintReport",
+    "run_lint",
+    "EXIT_CLEAN",
+    "EXIT_WARNINGS",
+    "EXIT_ERRORS",
+    "MAX_DIAGNOSTICS_PER_RULE",
+]
+
+EXIT_CLEAN = 0
+EXIT_WARNINGS = 1
+EXIT_ERRORS = 2
+
+#: A pathological artifact can violate one rule everywhere; keep reports
+#: readable by truncating per rule and noting the suppression.
+MAX_DIAGNOSTICS_PER_RULE = 100
+
+
+@dataclass
+class LintReport:
+    """Outcome of one lint run: findings plus which rules actually ran."""
+
+    diagnostics: list[Diagnostic] = field(default_factory=list)
+    rules_run: list[str] = field(default_factory=list)
+    rules_skipped: list[str] = field(default_factory=list)
+
+    def count(self, severity: Severity) -> int:
+        return sum(1 for d in self.diagnostics if d.severity == severity)
+
+    @property
+    def n_errors(self) -> int:
+        return self.count(Severity.ERROR)
+
+    @property
+    def n_warnings(self) -> int:
+        return self.count(Severity.WARNING)
+
+    @property
+    def n_infos(self) -> int:
+        return self.count(Severity.INFO)
+
+    @property
+    def exit_code(self) -> int:
+        """The CLI gate: 0 clean, 1 warnings only, 2 any error."""
+        if self.n_errors:
+            return EXIT_ERRORS
+        if self.n_warnings:
+            return EXIT_WARNINGS
+        return EXIT_CLEAN
+
+    def codes(self) -> set[str]:
+        """Distinct diagnostic codes present in the findings."""
+        return {d.code for d in self.diagnostics}
+
+    def by_code(self, code: str) -> list[Diagnostic]:
+        return [d for d in self.diagnostics if d.code == code]
+
+
+def run_lint(
+    context: LintContext,
+    select: Iterable[str] | None = None,
+    ignore: Iterable[str] | None = None,
+    severities: Mapping[str, Severity] | None = None,
+) -> LintReport:
+    """Run every applicable rule over ``context``.
+
+    Parameters
+    ----------
+    context:
+        The artifact bundle to analyze.
+    select:
+        When given, run only these codes (prefixes like ``SCH`` expand).
+    ignore:
+        Codes (or prefixes) to disable.
+    severities:
+        Per-code severity overrides, e.g. ``{"THY001": Severity.ERROR}``
+        to turn the optimality warning into a gating error.
+    """
+    enabled = set(resolve_codes(select)) if select is not None else set(RULES)
+    if ignore is not None:
+        enabled -= set(resolve_codes(ignore))
+    overrides = {
+        code: sev for code, sev in (severities or {}).items()
+    }
+    for code in overrides:
+        if code not in RULES:
+            resolve_codes([code])  # raises with the known-code list
+
+    report = LintReport()
+    for code, rule in RULES.items():
+        if code not in enabled:
+            continue
+        if not rule.applicable(context):
+            report.rules_skipped.append(code)
+            continue
+        report.rules_run.append(code)
+        severity = overrides.get(code)
+        produced = 0
+        for diag in rule.check(context):
+            produced += 1
+            if produced > MAX_DIAGNOSTICS_PER_RULE:
+                continue
+            if severity is not None and diag.severity != severity:
+                diag = Diagnostic(
+                    code=diag.code,
+                    severity=severity,
+                    message=diag.message,
+                    datum=diag.datum,
+                    window=diag.window,
+                    processor=diag.processor,
+                    hint=diag.hint,
+                )
+            report.diagnostics.append(diag)
+        if produced > MAX_DIAGNOSTICS_PER_RULE:
+            report.diagnostics.append(
+                Diagnostic(
+                    code=code,
+                    severity=Severity.INFO,
+                    message=(
+                        f"{produced - MAX_DIAGNOSTICS_PER_RULE} further "
+                        f"{code} diagnostics suppressed "
+                        f"(showing first {MAX_DIAGNOSTICS_PER_RULE})"
+                    ),
+                )
+            )
+    return report

@@ -1,0 +1,179 @@
+"""FLT0xx: static contradictions inside and around a fault plan.
+
+A fault plan can be wrong three ways: it can fail to fit the machine
+(FLT001/FLT002, shared with :meth:`repro.faults.FaultPlan.validate_for`),
+it can be physically meaningless (FLT003: a link fault naming a wire that
+does not exist), or it can be *jointly* inconsistent with the other
+artifacts — killing every processor of some window (FLT004), leaving the
+survivors too small to hold the data so evacuation must strand items
+(FLT005), or contradicting a schedule that still places data on nodes
+the plan takes down (FLT006).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..diagnostics import (
+    FLT001,
+    FLT002,
+    FLT003,
+    FLT004,
+    FLT005,
+    FLT006,
+    Diagnostic,
+    Severity,
+)
+from ..grid import structural_neighbors
+from .registry import rule
+
+__all__ = []
+
+
+def _horizon(context) -> int:
+    """Window horizon to sweep: the schedule's, else past the last fault."""
+    if context.n_windows is not None:
+        return context.n_windows
+    starts = [f.start for f in context.faults.node_faults]
+    starts += [f.start for f in context.faults.link_faults]
+    return (max(starts) + 1) if starts else 1
+
+
+@rule(
+    FLT001,
+    "fault outside the array",
+    severity=Severity.ERROR,
+    requires=("faults", "topology"),
+)
+def check_plan_fits_machine(context):
+    """A node/link fault names a processor the array does not have."""
+    for diag in context.faults.config_violations(context.topology):
+        if diag.code == FLT001:
+            yield diag
+
+
+@rule(
+    FLT002,
+    "fault outside the horizon",
+    severity=Severity.ERROR,
+    requires=("faults",),
+)
+def check_plan_fits_horizon(context):
+    """A fault activates at a window the schedule never reaches."""
+    if context.n_windows is None:
+        return
+    for diag in context.faults.config_violations(None, context.n_windows):
+        if diag.code == FLT002:
+            yield diag
+
+
+@rule(
+    FLT003,
+    "non-adjacent link fault",
+    severity=Severity.ERROR,
+    requires=("faults", "topology"),
+)
+def check_link_adjacency(context):
+    """A link fault severs a wire between processors that share no wire."""
+    topology = context.topology
+    n = topology.n_procs
+    for f in context.faults.link_faults:
+        if f.src >= n or f.dst >= n:
+            continue  # FLT001 owns out-of-range pids
+        if f.dst not in structural_neighbors(topology, f.src):
+            yield Diagnostic(
+                code=FLT003,
+                severity=Severity.ERROR,
+                message=(
+                    f"link fault {f.src} -> {f.dst} names a non-adjacent "
+                    f"pair; the mesh has no such wire"
+                ),
+                processor=f.src,
+                hint="list each wire of the multi-hop route as its own fault",
+            )
+
+
+@rule(
+    FLT004,
+    "whole-array death",
+    severity=Severity.ERROR,
+    requires=("faults", "topology"),
+)
+def check_survivors_exist(context):
+    """Some window has no surviving processor at all."""
+    topology = context.topology
+    all_pids = frozenset(range(topology.n_procs))
+    for w in range(_horizon(context)):
+        if context.faults.down_nodes(w) >= all_pids:
+            yield Diagnostic(
+                code=FLT004,
+                severity=Severity.ERROR,
+                message=(
+                    f"window {w} has no surviving processor; the fault plan "
+                    "kills the whole array"
+                ),
+                window=w,
+                hint="keep at least one node alive (see FaultPlan.random's "
+                "min_survivors)",
+            )
+
+
+@rule(
+    FLT005,
+    "insufficient surviving capacity",
+    severity=Severity.ERROR,
+    requires=("faults", "topology", "capacity"),
+)
+def check_surviving_capacity(context):
+    """The survivors' memories cannot hold the data; evacuation must strand."""
+    n_data = context.n_data
+    if n_data is None:
+        return
+    capacities = context.capacity.capacities
+    if len(capacities) != context.topology.n_procs:
+        return  # SCH004 owns the shape mismatch
+    for w in range(_horizon(context)):
+        down = [p for p in context.faults.down_nodes(w) if p < len(capacities)]
+        alive_total = int(capacities.sum()) - int(capacities[down].sum())
+        if n_data > alive_total:
+            yield Diagnostic(
+                code=FLT005,
+                severity=Severity.ERROR,
+                message=(
+                    f"{n_data} data items cannot fit into the {alive_total} "
+                    f"slots surviving window {w}'s node faults"
+                ),
+                window=w,
+                hint="evacuation will strand data; shrink the plan or add "
+                "memory headroom",
+            )
+
+
+@rule(
+    FLT006,
+    "schedule contradicts the fault plan",
+    severity=Severity.ERROR,
+    requires=("faults", "schedule"),
+)
+def check_schedule_avoids_dead_nodes(context):
+    """The schedule stores a datum on a node that is down in that window."""
+    schedule = context.schedule
+    centers = schedule.centers
+    for w in range(schedule.n_windows):
+        down = context.faults.down_nodes(w)
+        if not down:
+            continue
+        dead_mask = np.isin(centers[:, w], list(down))
+        for d in np.nonzero(dead_mask)[0]:
+            yield Diagnostic(
+                code=FLT006,
+                severity=Severity.ERROR,
+                message=(
+                    f"scheduled center {int(centers[d, w])} is down during "
+                    "this window; the replay would have to evacuate"
+                ),
+                datum=int(d),
+                window=w,
+                processor=int(centers[d, w]),
+                hint="recompute the schedule with reschedule_around_faults",
+            )

@@ -1,0 +1,108 @@
+"""Renderers for lint reports: human text, machine JSON, and SARIF 2.1.0.
+
+The SARIF output follows the static-analysis interchange shape GitHub
+code scanning and most SARIF viewers consume: one run, one tool driver
+carrying the rule catalogue, one result per diagnostic with the finding's
+coordinates encoded as a logical location (schedules have no file/line;
+``datum/3/window/2`` is the natural address space here).
+"""
+
+from __future__ import annotations
+
+import json
+
+from ..diagnostics import Severity
+from .engine import LintReport
+from .registry import RULES
+
+__all__ = ["render_human", "render_json", "render_sarif", "SARIF_SCHEMA_URI"]
+
+SARIF_SCHEMA_URI = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+_SARIF_LEVELS = {
+    Severity.ERROR: "error",
+    Severity.WARNING: "warning",
+    Severity.INFO: "note",
+}
+
+
+def render_human(report: LintReport) -> str:
+    """Multi-line, stable-order human rendering with a summary footer."""
+    lines = [d.render() for d in report.diagnostics]
+    if not report.diagnostics:
+        lines.append("clean: no diagnostics")
+    lines.append(
+        f"{report.n_errors} error(s), {report.n_warnings} warning(s), "
+        f"{report.n_infos} info(s) — "
+        f"{len(report.rules_run)} rule(s) run, "
+        f"{len(report.rules_skipped)} skipped for missing inputs"
+    )
+    return "\n".join(lines)
+
+
+def render_json(report: LintReport) -> str:
+    """Machine-readable JSON: diagnostics, rule coverage and the gate."""
+    payload = {
+        "version": 1,
+        "diagnostics": [d.to_dict() for d in report.diagnostics],
+        "rules_run": list(report.rules_run),
+        "rules_skipped": list(report.rules_skipped),
+        "summary": {
+            "errors": report.n_errors,
+            "warnings": report.n_warnings,
+            "infos": report.n_infos,
+            "exit_code": report.exit_code,
+        },
+    }
+    return json.dumps(payload, indent=2)
+
+
+def render_sarif(report: LintReport) -> str:
+    """SARIF 2.1.0 document for code-scanning UIs and archival."""
+    rules = [
+        {
+            "id": rule.code,
+            "name": rule.title,
+            "shortDescription": {"text": rule.description or rule.title},
+            "defaultConfiguration": {"level": _SARIF_LEVELS[rule.severity]},
+        }
+        for rule in RULES.values()
+    ]
+    results = [
+        {
+            "ruleId": diag.code,
+            "level": _SARIF_LEVELS[diag.severity],
+            "message": {"text": diag.message},
+            "locations": [
+                {
+                    "logicalLocations": [
+                        {
+                            "fullyQualifiedName": diag.location,
+                            "kind": "member",
+                        }
+                    ]
+                }
+            ],
+        }
+        for diag in report.diagnostics
+    ]
+    document = {
+        "$schema": SARIF_SCHEMA_URI,
+        "version": "2.1.0",
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-lint",
+                        "informationUri": "https://example.invalid/repro/docs/lint.md",
+                        "rules": rules,
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }
+    return json.dumps(document, indent=2)

@@ -1,0 +1,80 @@
+"""The rule registry: stable codes bound to check functions.
+
+A :class:`Rule` is a pure function from a :class:`~repro.lint.context.
+LintContext` to an iterable of :class:`~repro.diagnostics.Diagnostic`
+records, plus the metadata the engine and the SARIF renderer need: the
+stable code, a short title, the default severity and the set of context
+artifacts the check requires.  Rules register themselves at import time
+via the :func:`rule` decorator; :data:`RULES` is the single source of
+truth consumed by the engine, the CLI's ``--select/--ignore`` handling
+and ``docs/lint.md``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable
+
+from ..diagnostics import Diagnostic, Severity
+
+__all__ = ["Rule", "RULES", "rule", "resolve_codes"]
+
+
+@dataclass(frozen=True)
+class Rule:
+    """A registered static check with a stable diagnostic code."""
+
+    code: str
+    title: str
+    severity: Severity
+    requires: frozenset[str]
+    check: Callable[..., Iterable[Diagnostic]]
+    description: str = ""
+
+    def applicable(self, context) -> bool:
+        """True when every artifact the rule needs is present."""
+        return all(getattr(context, name) is not None for name in self.requires)
+
+
+#: code -> Rule, in registration (i.e. documentation) order.
+RULES: dict[str, Rule] = {}
+
+
+def rule(
+    code: str,
+    title: str,
+    severity: Severity = Severity.ERROR,
+    requires: Iterable[str] = (),
+):
+    """Register the decorated check function under ``code``."""
+
+    def decorate(fn: Callable[..., Iterable[Diagnostic]]):
+        if code in RULES:
+            raise ValueError(f"duplicate rule code {code}")
+        RULES[code] = Rule(
+            code=code,
+            title=title,
+            severity=severity,
+            requires=frozenset(requires),
+            check=fn,
+            description=(fn.__doc__ or "").strip().split("\n")[0],
+        )
+        return fn
+
+    return decorate
+
+
+def resolve_codes(codes: Iterable[str]) -> list[str]:
+    """Expand code prefixes (``SCH``, ``FLT``) and validate full codes."""
+    out: list[str] = []
+    for raw in codes:
+        token = raw.strip().upper()
+        if token in RULES:
+            out.append(token)
+            continue
+        matches = [c for c in RULES if c.startswith(token)]
+        if not matches:
+            known = ", ".join(RULES)
+            raise ValueError(f"unknown rule code {raw!r}; known codes: {known}")
+        out.extend(matches)
+    return out

@@ -1,0 +1,210 @@
+"""SCH0xx: static checks on :class:`~repro.core.Schedule` objects.
+
+These are the declarative invariants of the paper's Definition 3 model:
+every datum has exactly one *valid* center per window (SCH001), no
+processor's memory ever holds more items than its capacity (SCH002), the
+movement accounting matches the center transitions (SCH003), and the
+schedule structurally fits its companion artifacts (SCH004).  The replay
+machine enforces SCH001/SCH002 dynamically via
+:class:`~repro.sim.ResidencyError` / :class:`~repro.mem.CapacityError`
+with the same codes; these rules prove them before any simulation runs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..diagnostics import SCH001, SCH002, SCH003, SCH004, Diagnostic, Severity
+from .registry import rule
+
+__all__ = ["occupancy_overflows"]
+
+
+def occupancy_overflows(
+    centers: np.ndarray, capacities: np.ndarray
+) -> list[tuple[int, int, int]]:
+    """All per-window capacity violations as ``(window, processor, load)``.
+
+    Shared by the SCH002 rule and the dynamic capacity checks' reporting;
+    centers outside the capacity vector are ignored here (SCH001 owns
+    them).
+    """
+    n_procs = len(capacities)
+    n_windows = centers.shape[1]
+    occupancy = np.zeros((n_windows, n_procs), dtype=np.int64)
+    valid = (centers >= 0) & (centers < n_procs)
+    for w in range(n_windows):
+        column = centers[valid[:, w], w]
+        np.add.at(occupancy[w], column, 1)
+    out = []
+    for w, p in zip(*np.nonzero(occupancy > capacities[None, :])):
+        out.append((int(w), int(p), int(occupancy[w, p])))
+    return out
+
+
+@rule(
+    SCH001,
+    "residency violation",
+    severity=Severity.ERROR,
+    requires=("schedule", "topology"),
+)
+def check_residency(context):
+    """A center names a processor outside the array (Definition 3)."""
+    centers = context.schedule.centers
+    n_procs = context.topology.n_procs
+    bad = (centers < 0) | (centers >= n_procs)
+    for d, w in zip(*np.nonzero(bad)):
+        yield Diagnostic(
+            code=SCH001,
+            severity=Severity.ERROR,
+            message=(
+                f"center {int(centers[d, w])} is not a processor of the "
+                f"{n_procs}-node array"
+            ),
+            datum=int(d),
+            window=int(w),
+            hint=f"centers must lie in [0, {n_procs})",
+        )
+
+
+@rule(
+    SCH002,
+    "capacity overflow",
+    severity=Severity.ERROR,
+    requires=("schedule", "capacity"),
+)
+def check_capacity(context):
+    """A window assigns a processor more residents than its memory holds."""
+    capacity = context.capacity
+    schedule = context.schedule
+    if schedule.n_data > capacity.total:
+        yield Diagnostic(
+            code=SCH002,
+            severity=Severity.ERROR,
+            message=(
+                f"{schedule.n_data} data items cannot fit into total "
+                f"capacity {capacity.total}"
+            ),
+            hint="raise per-processor capacity or shrink the datum universe",
+        )
+    for w, p, load in occupancy_overflows(schedule.centers, capacity.capacities):
+        yield Diagnostic(
+            code=SCH002,
+            severity=Severity.ERROR,
+            message=(
+                f"memory of processor {p} over capacity: "
+                f"{load} > {int(capacity.capacities[p])}"
+            ),
+            window=w,
+            processor=p,
+            hint="re-run the scheduler with this capacity plan installed",
+        )
+
+
+@rule(SCH003, "movement inconsistency", severity=Severity.ERROR, requires=("schedule",))
+def check_movements(context):
+    """The movement list disagrees with the center-transition matrix."""
+    schedule = context.schedule
+    centers = schedule.centers
+    expected = set()
+    if schedule.n_windows >= 2:
+        moved = centers[:, 1:] != centers[:, :-1]
+        for d, b in zip(*np.nonzero(moved)):
+            expected.add(
+                (int(d), int(b) + 1, int(centers[d, b]), int(centers[d, b + 1]))
+            )
+    reported = set(schedule.movements())
+    for d, w, src, dst in sorted(reported - expected):
+        yield Diagnostic(
+            code=SCH003,
+            severity=Severity.ERROR,
+            message=(
+                f"movement list claims a {src} -> {dst} relocation that the "
+                "center matrix does not perform"
+            ),
+            datum=d,
+            window=w,
+        )
+    for d, w, src, dst in sorted(expected - reported):
+        yield Diagnostic(
+            code=SCH003,
+            severity=Severity.ERROR,
+            message=(
+                f"center matrix moves the datum {src} -> {dst} but the "
+                "movement list omits it"
+            ),
+            datum=d,
+            window=w,
+        )
+    n_claimed = schedule.n_movements()
+    if n_claimed != len(expected):
+        yield Diagnostic(
+            code=SCH003,
+            severity=Severity.ERROR,
+            message=(
+                f"n_movements() reports {n_claimed} relocations; the center "
+                f"matrix performs {len(expected)}"
+            ),
+        )
+    budget = schedule.meta.get("max_moves")
+    if budget is not None and len(expected) > int(budget):
+        yield Diagnostic(
+            code=SCH003,
+            severity=Severity.ERROR,
+            message=(
+                f"schedule performs {len(expected)} relocations but was "
+                f"produced under a movement budget of {int(budget)}"
+            ),
+            hint="the producing scheduler violated its own budget contract",
+        )
+
+
+@rule(SCH004, "artifact mismatch", severity=Severity.ERROR, requires=("schedule",))
+def check_shapes(context):
+    """The schedule does not fit its trace, topology or capacity plan."""
+    schedule = context.schedule
+    if context.trace is not None:
+        trace = context.trace
+        if schedule.windows.n_steps != trace.n_steps:
+            yield Diagnostic(
+                code=SCH004,
+                severity=Severity.ERROR,
+                message=(
+                    f"schedule windows span {schedule.windows.n_steps} steps "
+                    f"but the trace has {trace.n_steps}"
+                ),
+            )
+        if schedule.n_data != trace.n_data:
+            yield Diagnostic(
+                code=SCH004,
+                severity=Severity.ERROR,
+                message=(
+                    f"schedule places {schedule.n_data} data but the trace "
+                    f"addresses {trace.n_data}"
+                ),
+            )
+    if (
+        context.capacity is not None
+        and context.topology is not None
+        and context.capacity.n_procs != context.topology.n_procs
+    ):
+        yield Diagnostic(
+            code=SCH004,
+            severity=Severity.ERROR,
+            message=(
+                f"capacity plan covers {context.capacity.n_procs} "
+                f"processors but the array has {context.topology.n_procs}"
+            ),
+        )
+    if context.windows is not None and context.windows is not schedule.windows:
+        same = (
+            context.windows.n_steps == schedule.windows.n_steps
+            and np.array_equal(context.windows.starts, schedule.windows.starts)
+        )
+        if not same:
+            yield Diagnostic(
+                code=SCH004,
+                severity=Severity.ERROR,
+                message="schedule was built on a different window segmentation "
+                "than the one supplied",
+            )

@@ -1,0 +1,122 @@
+"""TRC0xx: static checks on traces and window segmentations.
+
+The constructors of :class:`~repro.trace.Trace` and
+:class:`~repro.trace.WindowSet` already reject malformed values at build
+time; these rules re-verify the same invariants on *loaded or foreign*
+artifacts and report every violation (a constructor stops at the first),
+plus degenerate-but-legal shapes worth surfacing (TRC003).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..diagnostics import TRC001, TRC002, TRC003, Diagnostic, Severity
+from .registry import rule
+
+__all__ = []
+
+
+@rule(TRC001, "malformed trace events", severity=Severity.ERROR, requires=("trace",))
+def check_trace_events(context):
+    """Trace event arrays are out of range, unsorted or non-positive."""
+    trace = context.trace
+    if len(trace.steps) == 0:
+        return
+    checks = (
+        (trace.steps, trace.n_steps, "step"),
+        (trace.procs, trace.n_procs, "processor"),
+        (trace.data, trace.n_data, "datum"),
+    )
+    for values, bound, what in checks:
+        bad = np.nonzero((values < 0) | (values >= bound))[0]
+        for i in bad[:16]:
+            yield Diagnostic(
+                code=TRC001,
+                severity=Severity.ERROR,
+                message=(
+                    f"event {int(i)} names {what} {int(values[i])}, outside "
+                    f"[0, {bound})"
+                ),
+            )
+    bad_counts = np.nonzero(trace.counts <= 0)[0]
+    for i in bad_counts[:16]:
+        yield Diagnostic(
+            code=TRC001,
+            severity=Severity.ERROR,
+            message=f"event {int(i)} has non-positive count {int(trace.counts[i])}",
+        )
+    if np.any(np.diff(trace.steps) < 0):
+        yield Diagnostic(
+            code=TRC001,
+            severity=Severity.ERROR,
+            message="trace events are not sorted by step",
+            hint="re-sort the event arrays by their step column",
+        )
+
+
+@rule(TRC002, "malformed window set", severity=Severity.ERROR, requires=("windows",))
+def check_windows(context):
+    """Window starts fail to partition ``[0, n_steps)`` or span the trace."""
+    windows = context.windows
+    starts = windows.starts
+    if len(starts) == 0 or starts[0] != 0:
+        yield Diagnostic(
+            code=TRC002,
+            severity=Severity.ERROR,
+            message="first window must start at step 0",
+        )
+    diffs = np.diff(starts)
+    for i in np.nonzero(diffs <= 0)[0][:16]:
+        yield Diagnostic(
+            code=TRC002,
+            severity=Severity.ERROR,
+            message=(
+                f"window starts must be strictly increasing: start[{int(i) + 1}]="
+                f"{int(starts[i + 1])} does not follow start[{int(i)}]="
+                f"{int(starts[i])}"
+            ),
+            window=int(i),
+        )
+    if len(starts) and starts[-1] >= windows.n_steps:
+        yield Diagnostic(
+            code=TRC002,
+            severity=Severity.ERROR,
+            message=(
+                f"last window starts at step {int(starts[-1])} but the "
+                f"horizon has only {windows.n_steps} steps"
+            ),
+            window=windows.n_windows - 1,
+        )
+    if context.trace is not None and windows.n_steps != context.trace.n_steps:
+        yield Diagnostic(
+            code=TRC002,
+            severity=Severity.ERROR,
+            message=(
+                f"window set spans {windows.n_steps} steps but the trace "
+                f"has {context.trace.n_steps}"
+            ),
+        )
+
+
+@rule(
+    TRC003,
+    "empty execution window",
+    severity=Severity.INFO,
+    requires=("trace", "windows"),
+)
+def check_empty_windows(context):
+    """A window holds no reference events (degenerate segmentation)."""
+    trace, windows = context.trace, context.windows
+    if windows.n_steps != trace.n_steps:
+        return  # TRC002 owns the mismatch; indices would be meaningless
+    populated = np.zeros(windows.n_windows, dtype=bool)
+    populated[np.unique(windows.assign(trace.steps))] = True
+    for w in np.nonzero(~populated)[0]:
+        yield Diagnostic(
+            code=TRC003,
+            severity=Severity.INFO,
+            message="window holds no reference events",
+            window=int(w),
+            hint="merge it into a neighbor to shrink the scheduling problem",
+        )

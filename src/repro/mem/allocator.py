@@ -81,7 +81,9 @@ class OccupancyTracker:
             raise ValueError(f"bad window range [{first}, {last}]")
         if not self.available_in_range(first, last)[proc]:
             raise CapacityError(
-                f"processor {proc} has no free slot in windows {first}..{last}"
+                f"processor {proc} has no free slot in windows {first}..{last}",
+                window=first,
+                processor=proc,
             )
         self._occupancy[first : last + 1, proc] += 1
 
@@ -95,7 +97,9 @@ class OccupancyTracker:
         if not mask[rows, centers].all():
             bad = int(rows[~mask[rows, centers]][0])
             raise CapacityError(
-                f"processor {int(centers[bad])} full in window {bad}"
+                f"processor {int(centers[bad])} full in window {bad}",
+                window=bad,
+                processor=int(centers[bad]),
             )
         np.add.at(self._occupancy, (rows, centers), 1)
 

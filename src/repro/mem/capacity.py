@@ -15,11 +15,35 @@ from math import ceil
 
 import numpy as np
 
+from ..diagnostics import SCH002, code_message, coord_suffix
+
 __all__ = ["CapacityError", "CapacityPlan"]
 
 
 class CapacityError(RuntimeError):
-    """Raised when data cannot be placed without violating capacities."""
+    """Raised when data cannot be placed without violating capacities.
+
+    Messages carry the stable diagnostic code of the violated invariant
+    (``SCH002`` for capacity overflows; see ``docs/lint.md``) plus the
+    offending ``(datum, window, processor)`` coordinates where known, so
+    a dynamic failure reads exactly like the static lint finding.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        datum: int | None = None,
+        window: int | None = None,
+        processor: int | None = None,
+        code: str = SCH002,
+    ) -> None:
+        super().__init__(
+            code_message(code, message) + coord_suffix(datum, window, processor)
+        )
+        self.code = code
+        self.datum = datum
+        self.window = window
+        self.processor = processor
 
 
 @dataclass(frozen=True)

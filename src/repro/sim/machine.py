@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..diagnostics import SCH001, code_message, coord_suffix
 from ..grid import Topology
 from ..mem import CapacityError, CapacityPlan
 
@@ -24,7 +25,10 @@ class ResidencyError(RuntimeError):
     Raised when :meth:`PIMArray.relocate` is asked to move a datum from a
     stale source location, or when any relocation is attempted before the
     machine has data loaded.  Carries the datum and both locations so the
-    caller can report precisely what diverged.
+    caller can report precisely what diverged; the message carries the
+    stable residency code (``SCH001``, see ``docs/lint.md``) and the
+    ``(datum, window, processor)`` coordinates, matching the static lint
+    rule's output.
     """
 
     def __init__(
@@ -33,11 +37,17 @@ class ResidencyError(RuntimeError):
         datum: int | None = None,
         claimed: int | None = None,
         actual: int | None = None,
+        window: int | None = None,
     ) -> None:
-        super().__init__(message)
+        super().__init__(
+            code_message(SCH001, message)
+            + coord_suffix(datum, window, actual if actual is not None else claimed)
+        )
+        self.code = SCH001
         self.datum = datum
         self.claimed = claimed
         self.actual = actual
+        self.window = window
 
 
 class PIMArray:
@@ -161,5 +171,6 @@ class PIMArray:
             pid = int(np.nonzero(over)[0][0])
             raise CapacityError(
                 f"memory of processor {pid} over capacity: "
-                f"{int(load[pid])} > {int(self.capacity.capacities[pid])}"
+                f"{int(load[pid])} > {int(self.capacity.capacities[pid])}",
+                processor=pid,
             )

@@ -35,7 +35,7 @@ from ..faults import FaultInjector, FaultPlan, RetryPolicy, plan_evacuation
 from ..grid import FaultAwareRouter, XYRouter
 from ..mem import CapacityError, CapacityPlan
 from ..trace import Trace
-from .machine import PIMArray
+from .machine import PIMArray, ResidencyError
 from .stats import SimReport
 
 __all__ = ["replay_schedule"]
@@ -121,8 +121,18 @@ def replay_schedule(
         counts = trace.counts[idx]
         centers = machine.locations()[data]
         expected = schedule.centers[data, w]
-        if not np.array_equal(centers, expected):
-            raise RuntimeError("machine residency diverged from the schedule")
+        diverged = np.nonzero(centers != expected)[0]
+        if len(diverged):
+            i = int(diverged[0])
+            raise ResidencyError(
+                f"machine residency diverged from the schedule: datum "
+                f"{int(data[i])} resides at {int(centers[i])}, scheduled at "
+                f"{int(expected[i])}",
+                datum=int(data[i]),
+                claimed=int(expected[i]),
+                actual=int(centers[i]),
+                window=w,
+            )
         vols = (
             np.ones(len(idx))
             if model.volumes is None

@@ -97,12 +97,10 @@ def theorem2_holds(costs0: np.ndarray, p1: int, p2: int, topology: Mesh2D) -> bo
     cols = range(c1, c2 + dc, dc) if dc else [c1]
     for r in rows:
         for c in cols:
-            if dr and r != r2:
-                if grid[r + dr, c] <= grid[r, c]:
-                    return False
-            if dc and c != c2:
-                if grid[r, c + dc] <= grid[r, c]:
-                    return False
+            if dr and r != r2 and grid[r + dr, c] <= grid[r, c]:
+                return False
+            if dc and c != c2 and grid[r, c + dc] <= grid[r, c]:
+                return False
     return True
 
 

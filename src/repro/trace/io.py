@@ -11,18 +11,22 @@ from pathlib import Path
 
 import numpy as np
 
+from ..diagnostics import SCH001, SCH004, TRC001, TRC002, code_message
 from .events import Trace
 from .windows import WindowSet
 
 __all__ = ["save_trace", "load_trace", "save_schedule", "load_schedule"]
 
 
-def _require_keys(archive, path, required, kind: str) -> None:
+def _require_keys(archive, path, required, kind: str, code: str) -> None:
     missing = [k for k in required if k not in archive.files]
     if missing:
         raise ValueError(
-            f"{path} is not a {kind} archive: missing key(s) "
-            f"{', '.join(missing)} (present: {', '.join(archive.files)})"
+            code_message(
+                code,
+                f"{path} is not a {kind} archive: missing key(s) "
+                f"{', '.join(missing)} (present: {', '.join(archive.files)})",
+            )
         )
 
 
@@ -56,19 +60,29 @@ def load_trace(path) -> tuple[Trace, WindowSet | None]:
     path = Path(path)
     with np.load(path) as archive:
         _require_keys(
-            archive, path, ("steps", "procs", "data", "counts", "meta"), "trace"
+            archive,
+            path,
+            ("steps", "procs", "data", "counts", "meta"),
+            "trace",
+            TRC001,
         )
         meta = archive["meta"]
         if meta.shape != (3,):
             raise ValueError(
-                f"{path}: trace meta must hold [n_steps, n_data, n_procs], "
-                f"got shape {meta.shape}"
+                code_message(
+                    TRC001,
+                    f"{path}: trace meta must hold [n_steps, n_data, "
+                    f"n_procs], got shape {meta.shape}",
+                )
             )
         n_steps, n_data, n_procs = (int(x) for x in meta)
         if min(n_steps, n_data, n_procs) < 1:
             raise ValueError(
-                f"{path}: trace meta must be positive, got n_steps={n_steps}, "
-                f"n_data={n_data}, n_procs={n_procs}"
+                code_message(
+                    TRC001,
+                    f"{path}: trace meta must be positive, got "
+                    f"n_steps={n_steps}, n_data={n_data}, n_procs={n_procs}",
+                )
             )
         try:
             trace = Trace(
@@ -80,13 +94,22 @@ def load_trace(path) -> tuple[Trace, WindowSet | None]:
                 n_data=n_data,
                 n_procs=n_procs,
             )
-            windows = None
-            if "window_starts" in archive:
+        except ValueError as exc:
+            raise ValueError(
+                code_message(TRC001, f"{path}: invalid trace archive: {exc}")
+            ) from exc
+        windows = None
+        if "window_starts" in archive:
+            try:
                 windows = WindowSet(
                     starts=archive["window_starts"], n_steps=n_steps
                 )
-        except ValueError as exc:
-            raise ValueError(f"{path}: invalid trace archive: {exc}") from exc
+            except ValueError as exc:
+                raise ValueError(
+                    code_message(
+                        TRC002, f"{path}: invalid window set in archive: {exc}"
+                    )
+                ) from exc
     return trace, windows
 
 
@@ -117,6 +140,7 @@ def load_schedule(path):
             path,
             ("centers", "window_starts", "n_steps", "method"),
             "schedule",
+            SCH004,
         )
         try:
             windows = WindowSet(
@@ -126,14 +150,20 @@ def load_schedule(path):
             centers = archive["centers"]
             if centers.ndim != 2 or centers.shape[1] != windows.n_windows:
                 raise ValueError(
-                    f"centers shape {centers.shape} does not match "
-                    f"{windows.n_windows} windows (expected (n_data, "
-                    f"{windows.n_windows}))"
+                    code_message(
+                        SCH004,
+                        f"centers shape {centers.shape} does not match "
+                        f"{windows.n_windows} windows (expected (n_data, "
+                        f"{windows.n_windows}))",
+                    )
                 )
             if centers.size and centers.min() < 0:
                 raise ValueError(
-                    f"centers hold negative processor id "
-                    f"{int(centers.min())}; processor ids must be >= 0"
+                    code_message(
+                        SCH001,
+                        f"centers hold negative processor id "
+                        f"{int(centers.min())}; processor ids must be >= 0",
+                    )
                 )
             return Schedule(
                 centers=centers,

@@ -143,11 +143,10 @@ class LoopNest:
                     builder.end_step()
                 self._boundaries.append(builder.current_step)
             self._run(depth + 1, inner, builder, in_parallel or loop.parallel)
-            if not loop.parallel:
-                # sequential iteration boundary: close the step if inner
-                # parallel work was emitted
-                if _step_dirty(builder):
-                    builder.end_step()
+            # sequential iteration boundary: close the step if inner
+            # parallel work was emitted
+            if not loop.parallel and _step_dirty(builder):
+                builder.end_step()
 
     def _emit(self, indices: dict, builder: TraceBuilder) -> None:
         proc = int(self.owner(indices))

@@ -66,9 +66,7 @@ class TestGreedyKMedian:
                 sites = greedy_k_median(demand, dist, k)
                 nearest = dist[:, sites].min(axis=1)
                 costs.append(float(demand @ nearest))
-            assert costs == sorted(costs, reverse=True) or costs == sorted(
-                costs, reverse=True
-            )
+            assert costs == sorted(costs, reverse=True)
             for a, b in zip(costs, costs[1:]):
                 assert b <= a
 

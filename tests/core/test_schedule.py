@@ -50,12 +50,59 @@ def test_occupancy(windows3):
     assert occ[2].tolist() == [0, 2, 0]
 
 
+def test_occupancy_with_movements_counts_every_window(windows3):
+    # A moving datum occupies its old center before the boundary and its
+    # new center after it; totals per window always equal n_data.
+    centers = np.array([[0, 2, 2], [0, 0, 2], [1, 1, 1]])
+    sched = Schedule(centers=centers, windows=windows3)
+    occ = sched.occupancy(n_procs=3)
+    assert occ.tolist() == [[2, 1, 0], [1, 1, 1], [0, 1, 2]]
+    assert (occ.sum(axis=1) == sched.n_data).all()
+    # Matches the naive per-window accumulation.
+    naive = np.zeros((3, 3), dtype=np.int64)
+    for w in range(3):
+        np.add.at(naive[w], centers[:, w], 1)
+    assert (occ == naive).all()
+
+
+def test_occupancy_rejects_out_of_range_centers(windows3):
+    sched = Schedule(centers=np.array([[0, 1, 5]]), windows=windows3)
+    with pytest.raises(ValueError, match=r"\[SCH001\].*outside the 3-processor"):
+        sched.occupancy(n_procs=3)
+    with pytest.raises(ValueError, match="positive"):
+        sched.occupancy(n_procs=0)
+
+
 def test_restricted_to(windows3):
     centers = np.array([[0, 1, 1], [3, 3, 0], [2, 2, 2]])
     sched = Schedule(centers=centers, windows=windows3, method="x")
     sub = sched.restricted_to(np.array([2, 0]))
     assert sub.centers.tolist() == [[2, 2, 2], [0, 1, 1]]
     assert sub.method == "x"
+
+
+def test_restricted_to_boolean_mask(windows3):
+    centers = np.array([[0, 1, 1], [3, 3, 0], [2, 2, 2]])
+    sched = Schedule(centers=centers, windows=windows3)
+    sub = sched.restricted_to(np.array([True, False, True]))
+    assert sub.centers.tolist() == [[0, 1, 1], [2, 2, 2]]
+    occ = sub.occupancy(n_procs=4)
+    assert (occ.sum(axis=1) == 2).all()
+
+
+def test_restricted_to_validates_selection(windows3):
+    centers = np.array([[0, 1, 1], [3, 3, 0], [2, 2, 2]])
+    sched = Schedule(centers=centers, windows=windows3)
+    with pytest.raises(ValueError, match="outside 0..2"):
+        sched.restricted_to(np.array([0, 3]))
+    with pytest.raises(ValueError, match="outside 0..2"):
+        sched.restricted_to(np.array([-1]))  # no silent wrap-around
+    with pytest.raises(ValueError, match="duplicates"):
+        sched.restricted_to(np.array([1, 1]))
+    with pytest.raises(ValueError, match="boolean mask"):
+        sched.restricted_to(np.array([True, False]))
+    with pytest.raises(ValueError, match="1-D"):
+        sched.restricted_to(np.array([[0, 1]]))
 
 
 def test_validation(windows3):

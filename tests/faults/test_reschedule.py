@@ -52,6 +52,38 @@ def test_whole_array_death_raises(lu8_tensor, model44):
         reschedule_around_faults(lu8_tensor, model44, plan)
 
 
+def test_whole_array_death_in_middle_window_is_a_coded_diagnostic(
+    lu8_tensor, model44, paper_capacity
+):
+    # Every processor dies in window 2 only: the reschedule must surface a
+    # clear FLT004 diagnostic naming that window, not an index error from
+    # the masked shortest-path machinery.
+    plan = FaultPlan(
+        node_faults=tuple(NodeFault(pid=p, start=2, end=3) for p in range(16))
+    )
+    with pytest.raises(CapacityError, match=r"\[FLT004\].*window 2") as info:
+        reschedule_around_faults(lu8_tensor, model44, plan, paper_capacity)
+    assert info.value.code == "FLT004"
+    assert info.value.window == 2
+
+
+def test_whole_array_death_is_caught_statically(lu8_tensor, model44):
+    # The same contradiction is flagged by the lint rule without running
+    # the scheduler at all.
+    from repro.lint import LintContext, run_lint
+
+    plan = FaultPlan(
+        node_faults=tuple(NodeFault(pid=p, start=2, end=3) for p in range(16))
+    )
+    context = LintContext(
+        faults=plan, topology=model44.topology, model=model44
+    )
+    report = run_lint(context, select=["FLT004"])
+    assert "FLT004" in report.codes()
+    assert any(d.window == 2 for d in report.diagnostics)
+    assert report.exit_code == 2
+
+
 def test_capacity_respected_on_survivors(lu8_tensor, model44, paper_capacity):
     plan = FaultPlan(
         node_faults=(NodeFault(pid=0, start=0), NodeFault(pid=1, start=0))

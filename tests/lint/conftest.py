@@ -1,0 +1,46 @@
+"""Seeded-violation artifact fixtures for the lint suite.
+
+Each fixture writes a deliberately broken artifact to disk, exercising
+the full load-then-lint path the CLI uses: a schedule whose centers
+leave the array (SCH001), a schedule that overfills a memory (SCH002),
+and a fault plan severing a wire the mesh does not have (FLT003).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import Schedule
+from repro.faults import FaultPlan, LinkFault
+from repro.trace import save_schedule, windows_by_step_count
+
+
+@pytest.fixture
+def windows4():
+    return windows_by_step_count(8, 2)
+
+
+@pytest.fixture
+def residency_npz(tmp_path, windows4):
+    """Schedule archive whose datum 1 sits on pid 20 of a 16-node array."""
+    centers = np.full((3, 4), 5, dtype=np.int64)
+    centers[1, 2] = 20
+    path = tmp_path / "residency.npz"
+    save_schedule(path, Schedule(centers=centers, windows=windows4))
+    return path
+
+
+@pytest.fixture
+def capacity_npz(tmp_path, windows4):
+    """Schedule archive stacking five data on one processor every window."""
+    centers = np.zeros((5, 4), dtype=np.int64)
+    path = tmp_path / "capacity.npz"
+    save_schedule(path, Schedule(centers=centers, windows=windows4))
+    return path
+
+
+@pytest.fixture
+def badplan_json(tmp_path):
+    """Fault plan severing the non-existent 0 -> 5 wire of a 4x4 mesh."""
+    path = tmp_path / "badplan.json"
+    FaultPlan(link_faults=(LinkFault(src=0, dst=5),)).save_json(path)
+    return path

@@ -1,0 +1,157 @@
+"""`repro-pim lint` end-to-end: files, workloads, formats, exit codes."""
+
+import json
+
+from repro.cli import main
+from repro.lint import SARIF_SCHEMA_URI
+
+
+def run(capsys, *argv):
+    code = main(["lint", *argv])
+    return code, capsys.readouterr().out
+
+
+def test_bench_workload_lints_clean(capsys):
+    code, out = run(capsys, "--bench", "1", "--size", "8")
+    assert code == 0
+    assert "clean: no diagnostics" in out
+    assert "0 error(s), 0 warning(s)" in out
+
+
+def test_residency_fixture_gates(capsys, residency_npz):
+    code, out = run(capsys, "--schedule", str(residency_npz))
+    assert code == 2
+    assert "SCH001 error:" in out
+    assert "center 20" in out
+    assert "(datum=1, window=2)" in out
+    assert "hint: centers must lie in [0, 16)" in out
+
+
+def test_capacity_fixture_gates(capsys, capacity_npz):
+    code, out = run(capsys, "--schedule", str(capacity_npz), "--capacity", "2")
+    assert code == 2
+    assert "SCH002 error:" in out
+    assert "memory of processor 0 over capacity: 5 > 2" in out
+    assert "(window=0, processor=0)" in out
+
+
+def test_fault_plan_fixture_gates(capsys, badplan_json):
+    code, out = run(capsys, "--faults", str(badplan_json))
+    assert code == 2
+    assert "FLT003 error:" in out
+    assert "link fault 0 -> 5 names a non-adjacent pair" in out
+
+
+def test_no_capacity_flag_silences_sch002(capsys, capacity_npz):
+    code, out = run(
+        capsys, "--schedule", str(capacity_npz), "--capacity", "2", "--no-capacity"
+    )
+    assert code == 0
+
+
+def test_select_limits_rules(capsys, residency_npz):
+    code, out = run(capsys, "--schedule", str(residency_npz), "--select", "SCH003")
+    assert code == 0
+    code, out = run(capsys, "--schedule", str(residency_npz), "--ignore", "SCH001")
+    assert code == 0
+
+
+def test_severity_override_demotes_to_warning(capsys, residency_npz):
+    code, out = run(
+        capsys,
+        "--schedule",
+        str(residency_npz),
+        "--severity",
+        "SCH001=warning",
+    )
+    assert code == 1
+    assert "SCH001 warning:" in out
+
+
+def test_json_format(capsys, residency_npz):
+    code, out = run(capsys, "--schedule", str(residency_npz), "--format", "json")
+    assert code == 2
+    payload = json.loads(out)
+    assert payload["summary"]["exit_code"] == 2
+    assert any(d["code"] == "SCH001" for d in payload["diagnostics"])
+
+
+def test_sarif_format_shape(capsys, residency_npz):
+    code, out = run(capsys, "--schedule", str(residency_npz), "--format", "sarif")
+    assert code == 2
+    doc = json.loads(out)
+    assert doc["$schema"] == SARIF_SCHEMA_URI
+    assert doc["version"] == "2.1.0"
+    (sarif_run,) = doc["runs"]
+    assert sarif_run["tool"]["driver"]["name"] == "repro-lint"
+    result = next(
+        r for r in sarif_run["results"] if r["ruleId"] == "SCH001"
+    )
+    assert result["level"] == "error"
+    assert (
+        result["locations"][0]["logicalLocations"][0]["fullyQualifiedName"]
+        == "datum/1/window/2"
+    )
+
+
+def test_output_file(tmp_path, capsys, residency_npz):
+    target = tmp_path / "report.sarif"
+    code = main(
+        [
+            "lint",
+            "--schedule",
+            str(residency_npz),
+            "--format",
+            "sarif",
+            "--output",
+            str(target),
+        ]
+    )
+    capsys.readouterr()
+    assert code == 2
+    assert json.loads(target.read_text())["version"] == "2.1.0"
+
+
+def test_corrupt_archive_is_a_coded_diagnostic(tmp_path, capsys):
+    bogus = tmp_path / "bogus.npz"
+    bogus.write_bytes(b"not an archive")
+    code, out = run(capsys, "--schedule", str(bogus))
+    assert code == 2
+    assert "error:" in out
+
+
+def test_bare_fault_plan_with_horizon(tmp_path, capsys):
+    from repro.faults import FaultPlan, NodeFault
+
+    path = tmp_path / "late.json"
+    FaultPlan(node_faults=(NodeFault(pid=2, start=9),)).save_json(path)
+    code, out = run(capsys, "--faults", str(path), "--windows", "4")
+    assert code == 2
+    assert "FLT002" in out
+    # without a horizon the plan is merely a machine-fit question
+    code, out = run(capsys, "--faults", str(path))
+    assert code == 0
+
+
+def test_bench_with_fault_plan(capsys, tmp_path):
+    from repro.faults import FaultPlan, NodeFault
+
+    path = tmp_path / "dead5.json"
+    FaultPlan(node_faults=(NodeFault(pid=5, start=0),)).save_json(path)
+    # GOMCDS does not know about the plan, so FLT006 must fire.
+    code, out = run(
+        capsys, "--bench", "1", "--size", "8", "--faults", str(path)
+    )
+    assert code == 2
+    assert "FLT006" in out
+
+
+def test_bad_severity_spec_is_a_config_error(capsys, residency_npz):
+    from repro.cli import EXIT_CONFIG_ERROR
+
+    code = main(
+        ["lint", "--schedule", str(residency_npz), "--severity", "SCH001"]
+    )
+    err = capsys.readouterr().err
+    assert code == EXIT_CONFIG_ERROR
+    assert "CODE=LEVEL" in err
