@@ -13,7 +13,7 @@ Quickstart::
 
     from repro import (
         Mesh2D, CostModel, CapacityPlan,
-        lu_workload, baseline_schedule, gomcds, evaluate_schedule,
+        lu_workload, schedule, evaluate_schedule,
     )
 
     topo = Mesh2D(4, 4)
@@ -22,14 +22,20 @@ Quickstart::
     model = CostModel(topo)
     cap = CapacityPlan.paper_rule(workload.n_data, topo.n_procs)
 
-    schedule = gomcds(tensor, model, capacity=cap)
-    print(evaluate_schedule(schedule, tensor, model).total)
+    sched = schedule(tensor, model, algorithm="gomcds", capacity=cap)
+    print(evaluate_schedule(sched, tensor, model).total)
+
+The individual algorithms (``scds``/``lomcds``/``gomcds``/``omcds``)
+remain importable; ``schedule`` is the uniform front door and the
+``instrument=`` keyword hooks in the observability layer
+(``docs/observability.md``).
 """
 
 from .core import (
     CostBreakdown,
     CostModel,
     Schedule,
+    SchedulerSpec,
     evaluate_schedule,
     get_scheduler,
     gomcds,
@@ -37,8 +43,11 @@ from .core import (
     lomcds,
     reschedule_around_faults,
     scds,
+    scheduler_spec,
 )
+from .api import schedule
 from .distrib import baseline_schedule
+from .obs import Instrumentation, instrumented
 from .faults import (
     FaultConfigError,
     FaultInjector,
@@ -97,6 +106,13 @@ __all__ = [
     "grouped_schedule",
     "evaluate_schedule",
     "get_scheduler",
+    # unified scheduling API (docs/algorithms.md)
+    "schedule",
+    "scheduler_spec",
+    "SchedulerSpec",
+    # observability (docs/observability.md)
+    "Instrumentation",
+    "instrumented",
     # workloads & baselines
     "WorkloadInstance",
     "lu_workload",

@@ -23,6 +23,7 @@ from .experiments import (
 )
 from .export import rows_to_csv, table_to_csv
 from .faults import DEFAULT_FAULT_RATES, fault_sweep, run_fault_replay
+from .profiling import PROFILE_SCHEDULERS, ProfileResult, profile_suite
 from .heatmap import render_heatmap, render_numeric_grid
 from .report import render_markdown_table, render_table
 from .summary import generate_report, write_report
@@ -52,6 +53,9 @@ __all__ = [
     "DEFAULT_FAULT_RATES",
     "fault_sweep",
     "run_fault_replay",
+    "ProfileResult",
+    "profile_suite",
+    "PROFILE_SCHEDULERS",
     "render_heatmap",
     "render_numeric_grid",
     "render_table",

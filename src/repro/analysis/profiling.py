@@ -1,0 +1,161 @@
+"""The ``repro profile`` runner: instrumented scheduling + replay.
+
+Profiles the paper's benchmark suite (or an extended kernel) with a
+recording :class:`~repro.obs.Instrumentation`: every scheduler runs with
+phase spans (cost-tensor build, DP sweep, capacity walk), the GOMCDS
+schedule is replayed hop-by-hop so per-window hop/cost metrics land in
+the trace, and the analytic/replayed results ride along through the
+unified ``to_dict()``/``summary()`` result protocol.  The recorded
+session exports as a human summary, JSON-lines, or a Chrome trace-event
+file (``chrome://tracing`` / Perfetto) — see ``docs/observability.md``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core import CostModel, evaluate_schedule, scheduler_spec
+from ..grid import Mesh2D
+from ..mem import CapacityPlan
+from ..obs import Instrumentation, active
+from ..sim import replay_schedule
+from ..workloads import (
+    BENCHMARK_NAMES,
+    EXTENDED_KERNELS,
+    benchmark as make_benchmark,
+)
+
+__all__ = ["ProfileResult", "profile_suite", "PROFILE_SCHEDULERS"]
+
+#: Schedulers profiled by default: the paper's three offline algorithms.
+PROFILE_SCHEDULERS = ("SCDS", "LOMCDS", "GOMCDS")
+
+#: Kernel names `repro profile --workload` accepts.  Paper kernels (the
+#: building blocks of benchmarks 1-5) profile the full suite; extended
+#: kernels profile that single workload.
+PAPER_KERNELS = tuple(BENCHMARK_NAMES.values())
+
+
+@dataclass
+class ProfileResult:
+    """One profile session: the instrumentation plus the result objects."""
+
+    instrument: Instrumentation
+    results: list = field(default_factory=list)
+    rows: list[dict] = field(default_factory=list)
+
+
+def _profile_instance(
+    name: str,
+    workload,
+    schedulers,
+    capacity_multiplier: float,
+    replay: bool,
+    instr: Instrumentation,
+    result: ProfileResult,
+) -> None:
+    tensor = workload.reference_tensor()
+    model = CostModel(workload.topology)
+    capacity = CapacityPlan.paper_rule(
+        workload.n_data, workload.topology.n_procs, capacity_multiplier
+    )
+    with instr.span(
+        "profile.instance",
+        workload=name,
+        n_data=tensor.n_data,
+        n_windows=tensor.n_windows,
+    ):
+        for sched_name in schedulers:
+            spec = scheduler_spec(sched_name)
+            sched = spec(tensor, model, capacity, instrument=instr)
+            breakdown = evaluate_schedule(sched, tensor, model)
+            result.results.append(breakdown)
+            result.rows.append(
+                {
+                    "workload": name,
+                    "scheduler": spec.name,
+                    "total_cost": breakdown.total,
+                    "reference_cost": breakdown.reference_cost,
+                    "movement_cost": breakdown.movement_cost,
+                }
+            )
+            if replay and sched_name == schedulers[-1]:
+                report = replay_schedule(
+                    workload.trace,
+                    sched,
+                    model,
+                    capacity=capacity,
+                    instrument=instr,
+                )
+                result.results.append(report)
+                if not report.matches(breakdown):  # pragma: no cover
+                    raise AssertionError(
+                        f"replayed cost diverged from analytic cost on {name}"
+                    )
+
+
+def profile_suite(
+    workload: str = "suite",
+    benchmarks: tuple[int, ...] = (1, 2, 3, 4, 5),
+    size: int = 16,
+    mesh: tuple[int, int] = (4, 4),
+    schedulers: tuple[str, ...] = PROFILE_SCHEDULERS,
+    capacity_multiplier: float = 2.0,
+    seed: int = 1998,
+    replay: bool = True,
+    instrument: Instrumentation | None = None,
+) -> ProfileResult:
+    """Run an instrumented profile and return the recorded session.
+
+    Parameters
+    ----------
+    workload:
+        ``"suite"`` (or any paper kernel name — ``lu``, ``matsq``,
+        ``code+rev``, … — since benchmarks 1-5 are built from those
+        kernels) profiles the paper benchmarks given by ``benchmarks``;
+        an extended kernel name (``fft``/``sor``/``floyd``/``bitonic``)
+        profiles that single workload instead.
+    benchmarks:
+        Paper benchmark ids (1-5) profiled in suite mode.
+    schedulers:
+        Scheduler names to run per instance; the *last* one is replayed
+        hop-by-hop when ``replay`` is true, producing the per-window
+        hop/cost metrics.
+    instrument:
+        Recording session to append to.  ``None`` joins the active
+        session (installed by the CLI's ``--metrics`` flag) when one is
+        recording, else starts a fresh one.
+    """
+    if instrument is None:
+        instrument = active() if active().enabled else Instrumentation.started()
+    instr = instrument
+    result = ProfileResult(instrument=instr)
+    topology = Mesh2D(*mesh)
+    schedulers = tuple(schedulers)
+
+    if workload in EXTENDED_KERNELS:
+        factory, default_n = EXTENDED_KERNELS[workload]
+        instance = factory(size or default_n, topology)
+        _profile_instance(
+            workload, instance, schedulers, capacity_multiplier,
+            replay, instr, result,
+        )
+        return result
+    if workload != "suite" and workload not in PAPER_KERNELS:
+        known = ("suite", *PAPER_KERNELS, *EXTENDED_KERNELS)
+        raise ValueError(
+            f"unknown workload {workload!r}; known: {', '.join(known)}"
+        )
+
+    for bench in benchmarks:
+        instance = make_benchmark(bench, size, topology, seed=seed)
+        _profile_instance(
+            f"bench{bench}:{BENCHMARK_NAMES[bench]}",
+            instance,
+            schedulers,
+            capacity_multiplier,
+            replay,
+            instr,
+            result,
+        )
+    return result

@@ -1,0 +1,74 @@
+"""The unified scheduling front door: ``repro.schedule``.
+
+Historically every entry point (tables, benches, examples, the CLI)
+picked one of four scheduler functions and called it directly.  This
+module collapses those call shapes into one facade::
+
+    from repro import schedule
+    sched = schedule(tensor, model)                      # GOMCDS
+    sched = schedule(tensor, model, algorithm="scds")
+    sched = schedule(tensor, model, capacity=cap,
+                     instrument=my_instrumentation)
+
+Algorithm selection goes through the frozen
+:class:`~repro.core.SchedulerSpec` registry, so ``schedule`` accepts
+exactly the names ``get_scheduler`` accepts (case-insensitive) and
+forwards algorithm-specific keywords (e.g. ``hysteresis`` for OMCDS)
+untouched.  Old entry points — calling ``scds``/``lomcds``/``gomcds``
+directly, or via ``get_scheduler(name)`` — keep working; see
+``docs/algorithms.md`` for the migration notes.
+"""
+
+from __future__ import annotations
+
+from .core import Schedule, SchedulerSpec, scheduler_spec
+from .core.cost import CostModel
+from .mem import CapacityPlan
+from .obs import Instrumentation
+from .trace import ReferenceTensor
+
+__all__ = ["schedule", "scheduler_spec", "SchedulerSpec"]
+
+
+def schedule(
+    tensor: ReferenceTensor,
+    model: CostModel,
+    *,
+    algorithm: str | SchedulerSpec = "gomcds",
+    capacity: CapacityPlan | None = None,
+    instrument: Instrumentation | None = None,
+    **kwargs,
+) -> Schedule:
+    """Schedule ``tensor`` on ``model``'s array with one algorithm.
+
+    Parameters
+    ----------
+    tensor:
+        Reference tensor ``R[d, w, p]`` built from the application trace.
+    model:
+        Communication cost model (metric + volumes).
+    algorithm:
+        Scheduler name (``"scds"``, ``"lomcds"``, ``"gomcds"``,
+        ``"omcds"``; case-insensitive) or an explicit
+        :class:`~repro.core.SchedulerSpec`.  Defaults to the paper's
+        best performer, GOMCDS.
+    capacity:
+        Optional per-processor memory constraint.
+    instrument:
+        Optional :class:`~repro.obs.Instrumentation` recording phase
+        spans and metrics; ``None`` uses the active (usually no-op)
+        handle.
+    **kwargs:
+        Algorithm-specific options, forwarded verbatim (e.g.
+        ``hysteresis=1.5`` for OMCDS).
+
+    Returns
+    -------
+    The computed :class:`~repro.core.Schedule`.
+    """
+    spec = (
+        algorithm
+        if isinstance(algorithm, SchedulerSpec)
+        else scheduler_spec(algorithm)
+    )
+    return spec(tensor, model, capacity, instrument=instrument, **kwargs)

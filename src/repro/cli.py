@@ -10,6 +10,13 @@ Usage::
     python -m repro faults [--node-rate 0.2] [--fail-node 5] [--sweep]
     python -m repro lint [--bench 1 --size 8 | --schedule s.npz] \
         [--trace t.npz] [--faults plan.json] [--format human|json|sarif]
+    python -m repro profile [--workload suite|lu|fft|...] \
+        [--format summary|jsonl|chrome] [--output trace.json]
+
+Every subcommand additionally accepts ``--metrics PATH``: the run is
+executed under a recording instrumentation session and the collected
+spans/metrics are written to ``PATH`` as JSON-lines
+(``docs/observability.md``).
 
 Exit codes are deterministic: ``0`` on success, ``2`` on a configuration
 error (bad arguments, a fault plan that does not fit the machine, an
@@ -107,28 +114,48 @@ def main(argv: list[str] | None = None) -> int:
         description="Regenerate the evaluation of 'Optimizing Data Scheduling "
         "on Processor-In-Memory Arrays' (IPPS 1998).",
     )
+    # every subcommand accepts --metrics PATH (docs/observability.md)
+    metrics_parent = argparse.ArgumentParser(add_help=False)
+    metrics_parent.add_argument(
+        "--metrics", metavar="PATH", default=None,
+        help="record spans/metrics for this run and write them to PATH "
+        "as JSON-lines",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_parser(name: str, **kwargs):
+        return sub.add_parser(name, parents=[metrics_parent], **kwargs)
+
     for name in ("table1", "table2"):
-        _add_common(sub.add_parser(name, help=f"regenerate {name}"))
-    sub.add_parser("figure1", help="the section 3.3 worked example")
-    sub.add_parser("extended", help="extended kernel suite (FFT/SOR/Floyd/bitonic)")
-    sub.add_parser("ablation-window", help="window-size sweep (DESIGN.md A)")
-    sub.add_parser("ablation-array", help="array-size sweep (DESIGN.md B)")
-    sub.add_parser("ablation-memory", help="memory-pressure sweep (DESIGN.md C)")
-    sub.add_parser("ablation-grouping", help="grouping strategies (DESIGN.md D)")
-    sub.add_parser("ablation-partition", help="iteration-partition sweep (E)")
-    sub.add_parser("ablation-online", help="online vs offline scheduling (F)")
-    sub.add_parser("ablation-replication", help="k-replica placement (G)")
-    sub.add_parser("ablation-refine", help="local-search refinement (H)")
-    sub.add_parser("ablation-segmentation", help="window boundary strategies (I)")
-    sub.add_parser("ablation-static", help="greedy vs optimal static placement (J)")
-    sub.add_parser("seeds", help="seed sensitivity of the improvements")
-    sub.add_parser("ablation-budget", help="movement-budget Pareto frontier (K)")
-    _add_faults_parser(sub)
-    _add_lint_parser(sub)
+        _add_common(add_parser(name, help=f"regenerate {name}"))
+    add_parser("figure1", help="the section 3.3 worked example")
+    add_parser("extended", help="extended kernel suite (FFT/SOR/Floyd/bitonic)")
+    add_parser("ablation-window", help="window-size sweep (DESIGN.md A)")
+    add_parser("ablation-array", help="array-size sweep (DESIGN.md B)")
+    add_parser("ablation-memory", help="memory-pressure sweep (DESIGN.md C)")
+    add_parser("ablation-grouping", help="grouping strategies (DESIGN.md D)")
+    add_parser("ablation-partition", help="iteration-partition sweep (E)")
+    add_parser("ablation-online", help="online vs offline scheduling (F)")
+    add_parser("ablation-replication", help="k-replica placement (G)")
+    add_parser("ablation-refine", help="local-search refinement (H)")
+    add_parser("ablation-segmentation", help="window boundary strategies (I)")
+    add_parser("ablation-static", help="greedy vs optimal static placement (J)")
+    add_parser("seeds", help="seed sensitivity of the improvements")
+    add_parser("ablation-budget", help="movement-budget Pareto frontier (K)")
+    _add_faults_parser(add_parser)
+    _add_lint_parser(add_parser)
+    _add_profile_parser(add_parser)
     args = parser.parse_args(argv)
 
     try:
+        if getattr(args, "metrics", None):
+            from .obs import Instrumentation, instrumented, write_export
+
+            instr = Instrumentation.started()
+            with instrumented(instr):
+                code = _dispatch(args)
+            write_export(instr, "jsonl", args.metrics)
+            return code
         return _dispatch(args)
     except (CapacityError, ValueError) as exc:
         # FaultConfigError subclasses ValueError; CapacityError covers
@@ -137,8 +164,8 @@ def main(argv: list[str] | None = None) -> int:
         return EXIT_CONFIG_ERROR
 
 
-def _add_faults_parser(sub) -> None:
-    parser = sub.add_parser(
+def _add_faults_parser(add_parser) -> None:
+    parser = add_parser(
         "faults",
         help="fault-injection replay: degradation under node/link/message "
         "failures (docs/fault-model.md)",
@@ -193,8 +220,8 @@ def _add_faults_parser(sub) -> None:
     )
 
 
-def _add_lint_parser(sub) -> None:
-    parser = sub.add_parser(
+def _add_lint_parser(add_parser) -> None:
+    parser = add_parser(
         "lint",
         help="static schedule/trace/fault-plan verifier with coded "
         "diagnostics (docs/lint.md); exits 0 clean / 1 warnings / 2 errors",
@@ -255,6 +282,80 @@ def _add_lint_parser(sub) -> None:
         "--output", metavar="PATH", default=None,
         help="write the report to a file instead of stdout",
     )
+
+
+def _add_profile_parser(add_parser) -> None:
+    parser = add_parser(
+        "profile",
+        help="instrumented scheduling + replay: span trace, per-window "
+        "metrics and cost results (docs/observability.md)",
+    )
+    parser.add_argument(
+        "--workload", default="suite",
+        help="'suite' or a paper kernel name (lu/matsq/code+rev/...) "
+        "profiles the paper benchmarks; an extended kernel "
+        "(fft/sor/floyd/bitonic) profiles that single workload",
+    )
+    parser.add_argument(
+        "--benchmarks", type=int, nargs="+", default=[1, 2, 3, 4, 5],
+        help="paper benchmark ids profiled in suite mode (1-5)",
+    )
+    parser.add_argument("--size", type=int, default=16, help="matrix size n")
+    parser.add_argument(
+        "--mesh", type=int, nargs=2, default=[4, 4], metavar=("ROWS", "COLS")
+    )
+    parser.add_argument(
+        "--scheduler", nargs="+", default=None, metavar="NAME",
+        help="schedulers to profile (default: SCDS LOMCDS GOMCDS); the "
+        "last one is replayed hop-by-hop",
+    )
+    parser.add_argument(
+        "--capacity-multiplier", type=float, default=2.0,
+        help="paper-rule capacity sizing",
+    )
+    parser.add_argument("--seed", type=int, default=1998)
+    parser.add_argument(
+        "--no-replay", action="store_true",
+        help="skip the hop-level replay (schedulers only)",
+    )
+    parser.add_argument(
+        "--format", choices=("summary", "jsonl", "chrome"), default="summary",
+        dest="fmt", help="export format (chrome = trace-event JSON for "
+        "chrome://tracing / Perfetto)",
+    )
+    parser.add_argument(
+        "--output", metavar="PATH", default=None,
+        help="write the export to a file instead of stdout",
+    )
+
+
+def _run_profile(args) -> int:
+    from .analysis import PROFILE_SCHEDULERS, profile_suite
+    from .obs import write_export
+
+    schedulers = tuple(
+        s.upper() for s in (args.scheduler or PROFILE_SCHEDULERS)
+    )
+    result = profile_suite(
+        workload=args.workload,
+        benchmarks=tuple(args.benchmarks),
+        size=args.size,
+        mesh=tuple(args.mesh),
+        schedulers=schedulers,
+        capacity_multiplier=args.capacity_multiplier,
+        seed=args.seed,
+        replay=not args.no_replay,
+    )
+    text = write_export(
+        result.instrument, args.fmt, args.output, results=result.results
+    )
+    if args.output:
+        print(f"wrote {args.fmt} export to {args.output}")
+        if args.fmt != "summary":
+            print(_render_rows(result.rows))
+    else:
+        print(text)
+    return EXIT_OK
 
 
 def _run_lint(args) -> int:
@@ -430,6 +531,8 @@ def _dispatch(args) -> int:
         return _run_faults(args)
     if args.command == "lint":
         return _run_lint(args)
+    if args.command == "profile":
+        return _run_profile(args)
     if args.command in ("table1", "table2"):
         sizes = tuple(args.sizes if not args.fast else [8, 16])
         runner = run_table1 if args.command == "table1" else run_table2

@@ -3,13 +3,16 @@
 This package exposes the three data-scheduling algorithms of the paper
 (plus the grouping post-pass of its §4) behind a uniform signature::
 
-    schedule = scheduler(reference_tensor, cost_model, capacity=None)
+    schedule = scheduler(
+        reference_tensor, cost_model, capacity=None, instrument=None
+    )
 
 and an analytic evaluator, :func:`evaluate_schedule`, implementing the
-paper's communication-cost objective.
+paper's communication-cost objective.  ``get_scheduler`` returns a
+frozen :class:`SchedulerSpec` — a uniformly-shaped callable carrying
+algorithm metadata; the ``repro.schedule`` facade in :mod:`repro.api`
+is the preferred front door.
 """
-
-from typing import Callable
 
 from .cost import CostModel
 from .budget import gomcds_budgeted, movement_frontier
@@ -32,6 +35,13 @@ from .replication import (
     evaluate_replicated,
     greedy_k_median,
     replicated_scds,
+)
+from .registry import (
+    SCHEDULER_SPECS,
+    SCHEDULERS,
+    SchedulerSpec,
+    get_scheduler,
+    scheduler_spec,
 )
 from .scds import scds
 from .schedule import Schedule
@@ -67,23 +77,8 @@ __all__ = [
     "evaluate_replicated",
     "greedy_k_median",
     "get_scheduler",
+    "scheduler_spec",
+    "SchedulerSpec",
     "SCHEDULERS",
+    "SCHEDULER_SPECS",
 ]
-
-#: Registry of the paper's schedulers by table-column name (plus the
-#: online extension OMCDS).
-SCHEDULERS: dict[str, Callable] = {
-    "SCDS": scds,
-    "LOMCDS": lomcds,
-    "GOMCDS": gomcds,
-    "OMCDS": omcds,
-}
-
-
-def get_scheduler(name: str) -> Callable:
-    """Look up a scheduler by its paper name (case-insensitive)."""
-    try:
-        return SCHEDULERS[name.upper()]
-    except KeyError:
-        known = ", ".join(sorted(SCHEDULERS))
-        raise KeyError(f"unknown scheduler {name!r}; known: {known}") from None

@@ -40,6 +40,24 @@ class CostBreakdown:
             self.movement_cost + other.movement_cost,
         )
 
+    # -- unified result protocol (shared with SimReport / LintReport) -------
+
+    def to_dict(self) -> dict:
+        """Serializable record (``kind`` discriminates result types)."""
+        return {
+            "kind": "cost_breakdown",
+            "reference_cost": self.reference_cost,
+            "movement_cost": self.movement_cost,
+            "total": self.total,
+        }
+
+    def summary(self) -> str:
+        """One-line human summary, consumed by the observability exporters."""
+        return (
+            f"cost: total {self.total:g} = reference {self.reference_cost:g} "
+            f"+ movement {self.movement_cost:g}"
+        )
+
 
 def _check_compatible(schedule: Schedule, tensor: ReferenceTensor, model: CostModel) -> None:
     if schedule.n_data != tensor.n_data:

@@ -24,6 +24,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..mem import CapacityError, CapacityPlan, OccupancyTracker
+from ..obs import Instrumentation, resolve
 from ..trace import ReferenceTensor
 from .cost import CostModel
 from .schedule import Schedule
@@ -110,6 +111,8 @@ def gomcds(
     tensor: ReferenceTensor,
     model: CostModel,
     capacity: CapacityPlan | None = None,
+    *,
+    instrument: Instrumentation | None = None,
 ) -> Schedule:
     """Global-optimal multiple-center scheduling (paper's Algorithm 2).
 
@@ -121,26 +124,42 @@ def gomcds(
     order and full ``(window, processor)`` cells are masked out — the
     processor-list idea generalized to paths.
     """
+    obs = resolve(instrument)
     n_data, n_windows = tensor.n_data, tensor.n_windows
-    costs = model.all_placement_costs(tensor)  # (D, W, m)
-    dist = model.distances.astype(np.float64)
-    vols = (
-        np.ones(n_data)
-        if model.volumes is None
-        else np.asarray(model.volumes, dtype=np.float64)
-    )
-
-    if capacity is None:
-        centers = _all_paths_vectorized(costs, dist, vols)
-        return Schedule(centers=centers, windows=tensor.windows, method="GOMCDS")
-
-    capacity.check_feasible(n_data)
-    tracker = OccupancyTracker(capacity, n_windows=n_windows)
-    centers = np.empty((n_data, n_windows), dtype=np.int64)
-    for d in tensor.data_priority_order():
-        path, _ = shortest_center_path(
-            costs[d], vols[d] * dist, allowed=tracker.available_mask()
+    with obs.span(
+        "scheduler.gomcds",
+        n_data=n_data,
+        n_windows=n_windows,
+        n_procs=model.n_procs,
+        constrained=capacity is not None,
+    ):
+        with obs.span("gomcds.cost_tensor"):
+            costs = model.all_placement_costs(tensor)  # (D, W, m)
+        dist = model.distances.astype(np.float64)
+        vols = (
+            np.ones(n_data)
+            if model.volumes is None
+            else np.asarray(model.volumes, dtype=np.float64)
         )
-        tracker.claim_path(path)
-        centers[d] = path
-    return Schedule(centers=centers, windows=tensor.windows, method="GOMCDS")
+        obs.gauge("gomcds.dp_cells", n_data * n_windows * model.n_procs)
+
+        if capacity is None:
+            with obs.span("gomcds.dp_sweep"):
+                centers = _all_paths_vectorized(costs, dist, vols)
+            return Schedule(
+                centers=centers, windows=tensor.windows, method="GOMCDS"
+            )
+
+        capacity.check_feasible(n_data)
+        tracker = OccupancyTracker(capacity, n_windows=n_windows)
+        centers = np.empty((n_data, n_windows), dtype=np.int64)
+        with obs.span("gomcds.capacity_walk"):
+            for d in tensor.data_priority_order():
+                path, _ = shortest_center_path(
+                    costs[d], vols[d] * dist, allowed=tracker.available_mask()
+                )
+                tracker.claim_path(path)
+                centers[d] = path
+        return Schedule(
+            centers=centers, windows=tensor.windows, method="GOMCDS"
+        )

@@ -13,6 +13,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..mem import CapacityPlan, OccupancyTracker, first_available
+from ..obs import Instrumentation, resolve
 from ..trace import ReferenceTensor
 from .cost import CostModel
 from .schedule import Schedule
@@ -24,6 +25,8 @@ def lomcds(
     tensor: ReferenceTensor,
     model: CostModel,
     capacity: CapacityPlan | None = None,
+    *,
+    instrument: Instrumentation | None = None,
 ) -> Schedule:
     """Per-window local-optimal centers for every datum.
 
@@ -33,34 +36,56 @@ def lomcds(
     only moving data "to such centers according to these execution
     windows".
     """
+    obs = resolve(instrument)
     n_data, n_windows = tensor.n_data, tensor.n_windows
-    costs = model.all_placement_costs(tensor)  # (D, W, m)
-    referenced = tensor.counts.sum(axis=2) > 0  # (D, W)
+    with obs.span(
+        "scheduler.lomcds",
+        n_data=n_data,
+        n_windows=n_windows,
+        n_procs=model.n_procs,
+        constrained=capacity is not None,
+    ):
+        with obs.span("lomcds.cost_tensor"):
+            costs = model.all_placement_costs(tensor)  # (D, W, m)
+        referenced = tensor.counts.sum(axis=2) > 0  # (D, W)
 
-    if capacity is None:
-        centers = costs.argmin(axis=2)  # (D, W) lowest-pid tie-break
-        _hold_position_when_idle(centers, referenced)
+        if capacity is None:
+            with obs.span("lomcds.local_argmin"):
+                centers = costs.argmin(axis=2)  # (D, W) lowest-pid tie-break
+                _hold_position_when_idle(centers, referenced)
+            return Schedule(
+                centers=centers, windows=tensor.windows, method="LOMCDS"
+            )
+
+        capacity.check_feasible(n_data)
+        tracker = OccupancyTracker(capacity, n_windows=n_windows)
+        centers = np.empty((n_data, n_windows), dtype=np.int64)
+        with obs.span("lomcds.capacity_walk") as walk:
+            idle_holds = idle_evictions = 0
+            for d in tensor.data_priority_order():
+                prev: int | None = None
+                for w in range(n_windows):
+                    available = tracker.available_in_window(w)
+                    if referenced[d, w] or prev is None:
+                        proc = first_available(costs[d, w], available)
+                    elif available[prev]:
+                        proc = prev  # idle window: stay put if there is room
+                        idle_holds += 1
+                    else:
+                        # eviction: the held slot was claimed by a
+                        # higher-priority datum, so the idle datum walks
+                        # its processor list after all
+                        proc = first_available(costs[d, w], available)
+                        idle_evictions += 1
+                    tracker.claim(proc, w)
+                    centers[d, w] = proc
+                    prev = proc
+            walk.set(idle_holds=idle_holds, idle_evictions=idle_evictions)
+            obs.count("lomcds.idle_holds", idle_holds)
+            obs.count("lomcds.idle_evictions", idle_evictions)
         return Schedule(
             centers=centers, windows=tensor.windows, method="LOMCDS"
         )
-
-    capacity.check_feasible(n_data)
-    tracker = OccupancyTracker(capacity, n_windows=n_windows)
-    centers = np.empty((n_data, n_windows), dtype=np.int64)
-    for d in tensor.data_priority_order():
-        prev: int | None = None
-        for w in range(n_windows):
-            available = tracker.available_in_window(w)
-            if referenced[d, w] or prev is None:
-                proc = first_available(costs[d, w], available)
-            elif available[prev]:
-                proc = prev  # idle window: stay put if there is room
-            else:
-                proc = first_available(costs[d, w], available)
-            tracker.claim(proc, w)
-            centers[d, w] = proc
-            prev = proc
-    return Schedule(centers=centers, windows=tensor.windows, method="LOMCDS")
 
 
 def _hold_position_when_idle(centers: np.ndarray, referenced: np.ndarray) -> None:

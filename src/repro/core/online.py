@@ -27,6 +27,7 @@ import math
 import numpy as np
 
 from ..mem import CapacityPlan, OccupancyTracker, first_available
+from ..obs import Instrumentation, resolve
 from ..trace import ReferenceTensor
 from .cost import CostModel
 from .schedule import Schedule
@@ -39,6 +40,8 @@ def omcds(
     model: CostModel,
     capacity: CapacityPlan | None = None,
     hysteresis: float = 2.0,
+    *,
+    instrument: Instrumentation | None = None,
 ) -> Schedule:
     """Online multiple-center data scheduling with hysteresis.
 
@@ -51,8 +54,26 @@ def omcds(
     """
     if not hysteresis > 0:
         raise ValueError("hysteresis must be positive")
+    obs = resolve(instrument)
     n_data, n_windows = tensor.n_data, tensor.n_windows
-    costs = model.all_placement_costs(tensor)  # (D, W, m)
+    with obs.span(
+        "scheduler.omcds",
+        n_data=n_data,
+        n_windows=n_windows,
+        n_procs=model.n_procs,
+        constrained=capacity is not None,
+        hysteresis=hysteresis,
+    ):
+        return _omcds_body(
+            tensor, model, capacity, hysteresis, obs, n_data, n_windows
+        )
+
+
+def _omcds_body(
+    tensor, model, capacity, hysteresis, obs, n_data, n_windows
+) -> Schedule:
+    with obs.span("omcds.cost_tensor"):
+        costs = model.all_placement_costs(tensor)  # (D, W, m)
     dist = model.distances.astype(np.float64)
     vols = (
         np.ones(n_data)

@@ -1,0 +1,151 @@
+"""Scheduler registry: frozen specs behind uniformly-shaped callables.
+
+Historically each scheduling algorithm was a bare function with its own
+keyword surface; callers had to know that ``omcds`` takes ``hysteresis``
+while ``scds`` does not, and there was no metadata to drive tables, CLIs
+or the observability layer.  :class:`SchedulerSpec` fixes the shape once:
+
+    spec(tensor, model, capacity=None, *, instrument=None, **kwargs)
+
+``get_scheduler`` now returns a spec (it *is* a callable, so every old
+``get_scheduler(name)(tensor, model, capacity)`` call keeps working),
+and the ``SCHEDULERS`` mapping of raw functions is preserved for
+backwards compatibility.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from ..obs import Instrumentation
+from .gomcds import gomcds
+from .lomcds import lomcds
+from .online import omcds
+from .scds import scds
+from .schedule import Schedule
+
+__all__ = [
+    "SchedulerSpec",
+    "SCHEDULER_SPECS",
+    "SCHEDULERS",
+    "get_scheduler",
+    "scheduler_spec",
+]
+
+
+@dataclass(frozen=True)
+class SchedulerSpec:
+    """Immutable description of one scheduling algorithm.
+
+    Attributes
+    ----------
+    name:
+        Canonical (upper-case, paper) name, e.g. ``"GOMCDS"``.
+    func:
+        The underlying algorithm; must accept
+        ``(tensor, model, capacity=None, *, instrument=None)`` plus any
+        algorithm-specific keywords.
+    multi_center:
+        Whether the schedule may move data between windows.
+    movement_aware:
+        Whether relocation cost participates in the center choice.
+    online:
+        Whether the algorithm sees windows one at a time (no lookahead).
+    description:
+        One-line summary for tables and ``repro profile`` output.
+    """
+
+    name: str
+    func: Callable[..., Schedule]
+    multi_center: bool
+    movement_aware: bool
+    online: bool
+    description: str
+
+    def __call__(
+        self,
+        tensor,
+        model,
+        capacity=None,
+        *,
+        instrument: Instrumentation | None = None,
+        **kwargs,
+    ) -> Schedule:
+        return self.func(
+            tensor, model, capacity=capacity, instrument=instrument, **kwargs
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "multi_center": self.multi_center,
+            "movement_aware": self.movement_aware,
+            "online": self.online,
+            "description": self.description,
+        }
+
+
+SCHEDULER_SPECS: dict[str, SchedulerSpec] = {
+    spec.name: spec
+    for spec in (
+        SchedulerSpec(
+            name="SCDS",
+            func=scds,
+            multi_center=False,
+            movement_aware=False,
+            online=False,
+            description="single static center per datum (Algorithm 1)",
+        ),
+        SchedulerSpec(
+            name="LOMCDS",
+            func=lomcds,
+            multi_center=True,
+            movement_aware=False,
+            online=False,
+            description="per-window local-optimal centers (§3.2.1)",
+        ),
+        SchedulerSpec(
+            name="GOMCDS",
+            func=gomcds,
+            multi_center=True,
+            movement_aware=True,
+            online=False,
+            description="cost-graph shortest-path centers (Algorithm 2)",
+        ),
+        SchedulerSpec(
+            name="OMCDS",
+            func=omcds,
+            multi_center=True,
+            movement_aware=True,
+            online=True,
+            description="online hysteresis scheduling (extension)",
+        ),
+    )
+}
+
+#: Backwards-compatible registry of the raw scheduler functions by
+#: table-column name (plus the online extension OMCDS).
+SCHEDULERS: dict[str, Callable] = {
+    name: spec.func for name, spec in SCHEDULER_SPECS.items()
+}
+
+
+def scheduler_spec(name: str) -> SchedulerSpec:
+    """Look up a :class:`SchedulerSpec` by name (case-insensitive)."""
+    try:
+        return SCHEDULER_SPECS[name.upper()]
+    except KeyError:
+        known = ", ".join(sorted(SCHEDULER_SPECS))
+        raise KeyError(f"unknown scheduler {name!r}; known: {known}") from None
+
+
+def get_scheduler(name: str) -> SchedulerSpec:
+    """Look up a scheduler by its paper name (case-insensitive).
+
+    Returns the :class:`SchedulerSpec` — a callable with the uniform
+    ``(tensor, model, capacity=None, *, instrument=None, **kwargs)``
+    shape — so existing ``get_scheduler(name)(tensor, model, cap)``
+    call sites keep working while gaining instrumentation support.
+    """
+    return scheduler_spec(name)

@@ -23,6 +23,7 @@ import numpy as np
 from ..diagnostics import FLT004
 from ..faults import FaultPlan
 from ..mem import CapacityError, CapacityPlan, OccupancyTracker
+from ..obs import Instrumentation, resolve
 from ..trace import ReferenceTensor
 from .cost import CostModel
 from .gomcds import shortest_center_path
@@ -48,6 +49,8 @@ def reschedule_around_faults(
     model: CostModel,
     plan: FaultPlan,
     capacity: CapacityPlan | None = None,
+    *,
+    instrument: Instrumentation | None = None,
 ) -> Schedule:
     """GOMCDS-style scheduling that never places data on a failed node.
 
@@ -76,43 +79,61 @@ def reschedule_around_faults(
         i.e. the surviving array genuinely cannot hold the data.
     """
     plan.validate_for(model.topology, tensor.n_windows)
+    obs = resolve(instrument)
     n_data, n_windows = tensor.n_data, tensor.n_windows
     n_procs = model.n_procs
-    alive = alive_window_mask(plan, n_windows, n_procs)
-    dead_windows = np.nonzero(~alive.any(axis=1))[0]
-    if len(dead_windows):
-        # Same code and wording as the static FLT004 lint rule: the plan
-        # kills the whole array, so no placement can exist.
-        raise CapacityError(
-            f"window {int(dead_windows[0])} has no surviving processor; "
-            "the fault plan kills the whole array",
-            window=int(dead_windows[0]),
-            code=FLT004,
+    with obs.span(
+        "scheduler.reschedule_around_faults",
+        n_data=n_data,
+        n_windows=n_windows,
+        n_node_faults=len(plan.node_faults),
+        constrained=capacity is not None,
+    ):
+        with obs.span("reschedule.alive_mask"):
+            alive = alive_window_mask(plan, n_windows, n_procs)
+        dead_windows = np.nonzero(~alive.any(axis=1))[0]
+        if len(dead_windows):
+            # Same code and wording as the static FLT004 lint rule: the plan
+            # kills the whole array, so no placement can exist.
+            raise CapacityError(
+                f"window {int(dead_windows[0])} has no surviving processor; "
+                "the fault plan kills the whole array",
+                window=int(dead_windows[0]),
+                code=FLT004,
+            )
+        obs.gauge(
+            "reschedule.masked_cells", int((~alive).sum())
         )
 
-    costs = model.all_placement_costs(tensor)  # (D, W, m)
-    dist = model.distances.astype(np.float64)
-    vols = (
-        np.ones(n_data)
-        if model.volumes is None
-        else np.asarray(model.volumes, dtype=np.float64)
-    )
+        with obs.span("reschedule.cost_tensor"):
+            costs = model.all_placement_costs(tensor)  # (D, W, m)
+        dist = model.distances.astype(np.float64)
+        vols = (
+            np.ones(n_data)
+            if model.volumes is None
+            else np.asarray(model.volumes, dtype=np.float64)
+        )
 
-    tracker = None
-    if capacity is not None:
-        capacity.check_feasible(n_data)
-        tracker = OccupancyTracker(capacity, n_windows=n_windows)
+        tracker = None
+        if capacity is not None:
+            capacity.check_feasible(n_data)
+            tracker = OccupancyTracker(capacity, n_windows=n_windows)
 
-    centers = np.empty((n_data, n_windows), dtype=np.int64)
-    for d in tensor.data_priority_order():
-        allowed = alive if tracker is None else alive & tracker.available_mask()
-        path, _ = shortest_center_path(costs[d], vols[d] * dist, allowed=allowed)
-        if tracker is not None:
-            tracker.claim_path(path)
-        centers[d] = path
-    return Schedule(
-        centers=centers,
-        windows=tensor.windows,
-        method="GOMCDS+faults",
-        meta={"n_node_faults": len(plan.node_faults)},
-    )
+        centers = np.empty((n_data, n_windows), dtype=np.int64)
+        with obs.span("reschedule.capacity_walk"):
+            for d in tensor.data_priority_order():
+                allowed = (
+                    alive if tracker is None else alive & tracker.available_mask()
+                )
+                path, _ = shortest_center_path(
+                    costs[d], vols[d] * dist, allowed=allowed
+                )
+                if tracker is not None:
+                    tracker.claim_path(path)
+                centers[d] = path
+        return Schedule(
+            centers=centers,
+            windows=tensor.windows,
+            method="GOMCDS+faults",
+            meta={"n_node_faults": len(plan.node_faults)},
+        )

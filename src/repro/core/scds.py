@@ -13,6 +13,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..mem import CapacityPlan, OccupancyTracker, first_available
+from ..obs import Instrumentation, resolve
 from ..trace import ReferenceTensor
 from .cost import CostModel
 from .schedule import Schedule
@@ -24,6 +25,8 @@ def scds(
     tensor: ReferenceTensor,
     model: CostModel,
     capacity: CapacityPlan | None = None,
+    *,
+    instrument: Instrumentation | None = None,
 ) -> Schedule:
     """Single-center placement for every datum (paper's Algorithm 1).
 
@@ -44,22 +47,38 @@ def scds(
     A static :class:`~repro.core.schedule.Schedule` (one center per datum,
     constant across windows).
     """
+    obs = resolve(instrument)
     n_data = tensor.n_data
-    # Line 2-4 of Algorithm 1: cost of putting datum i at node j, with all
-    # windows collected together.
-    totals = model.all_placement_costs(tensor).sum(axis=1)  # (D, m)
+    with obs.span(
+        "scheduler.scds",
+        n_data=n_data,
+        n_windows=tensor.n_windows,
+        n_procs=model.n_procs,
+        constrained=capacity is not None,
+    ):
+        # Line 2-4 of Algorithm 1: cost of putting datum i at node j, with
+        # all windows collected together.
+        with obs.span("scds.cost_tensor"):
+            totals = model.all_placement_costs(tensor).sum(axis=1)  # (D, m)
 
-    if capacity is None:
-        # Stable argmin = lowest-pid tie-breaking.
-        centers = totals.argmin(axis=1)
+        if capacity is None:
+            # Stable argmin = lowest-pid tie-breaking.
+            with obs.span("scds.argmin"):
+                centers = totals.argmin(axis=1)
+            return Schedule.static(centers, tensor.windows, method="SCDS")
+
+        capacity.check_feasible(n_data)
+        tracker = OccupancyTracker(capacity, n_windows=1)
+        centers = np.empty(n_data, dtype=np.int64)
+        with obs.span("scds.capacity_walk") as walk:
+            fallbacks = 0
+            for d in tensor.data_priority_order():
+                # Lines 5-7: sorted processor list, first available slot.
+                proc = first_available(totals[d], tracker.available_in_window(0))
+                if proc != int(totals[d].argmin()):
+                    fallbacks += 1
+                tracker.claim(proc, 0)
+                centers[d] = proc
+            walk.set(fallbacks=fallbacks)
+            obs.count("scheduler.capacity_fallbacks", fallbacks)
         return Schedule.static(centers, tensor.windows, method="SCDS")
-
-    capacity.check_feasible(n_data)
-    tracker = OccupancyTracker(capacity, n_windows=1)
-    centers = np.empty(n_data, dtype=np.int64)
-    for d in tensor.data_priority_order():
-        # Lines 5-7: sorted processor list, first available slot.
-        proc = first_available(totals[d], tracker.available_in_window(0))
-        tracker.claim(proc, 0)
-        centers[d] = proc
-    return Schedule.static(centers, tensor.windows, method="SCDS")

@@ -20,6 +20,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..grid import FaultAwareRouter, Topology
+from ..obs import Instrumentation, resolve
 from .plan import FaultConfigError, FaultPlan
 
 __all__ = ["RetryPolicy", "FaultInjector"]
@@ -74,11 +75,13 @@ class FaultInjector:
         plan: FaultPlan,
         topology: Topology,
         n_windows: int | None = None,
+        instrument: Instrumentation | None = None,
     ) -> None:
         plan.validate_for(topology, n_windows)
         self.plan = plan
         self.topology = topology
         self.n_windows = n_windows
+        self._obs = resolve(instrument)
         self._router_cache: dict[tuple, FaultAwareRouter] = {}
 
     # -- structural state ------------------------------------------------------
@@ -112,9 +115,13 @@ class FaultInjector:
         """Fault-aware router for the window's structural-fault epoch."""
         epoch = self.plan.fault_epoch(window)
         if epoch not in self._router_cache:
-            self._router_cache[epoch] = FaultAwareRouter(
-                self.topology, dead_nodes=epoch[0], dead_links=epoch[1]
-            )
+            self._obs.count("faults.router_cache_miss")
+            with self._obs.span("faults.build_router", window=window):
+                self._router_cache[epoch] = FaultAwareRouter(
+                    self.topology, dead_nodes=epoch[0], dead_links=epoch[1]
+                )
+        else:
+            self._obs.count("faults.router_cache_hit")
         return self._router_cache[epoch]
 
     def recovery_router(self, window: int, source: int) -> FaultAwareRouter:

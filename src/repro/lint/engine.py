@@ -12,6 +12,7 @@ from dataclasses import dataclass, field
 from typing import Iterable, Mapping
 
 from ..diagnostics import Diagnostic, Severity
+from ..obs import Instrumentation, resolve
 from .context import LintContext
 from .registry import RULES, resolve_codes
 
@@ -79,12 +80,43 @@ class LintReport:
     def by_code(self, code: str) -> list[Diagnostic]:
         return [d for d in self.diagnostics if d.code == code]
 
+    # -- unified result protocol (shared with CostBreakdown / SimReport) -----
+
+    def to_dict(self) -> dict:
+        """Serializable record (``kind`` discriminates result types).
+
+        Same payload the ``json`` renderer emits, so the observability
+        exporters and the lint CLI agree on the machine-readable shape.
+        """
+        return {
+            "kind": "lint_report",
+            "version": 1,
+            "diagnostics": [d.to_dict() for d in self.diagnostics],
+            "rules_run": list(self.rules_run),
+            "rules_skipped": list(self.rules_skipped),
+            "summary": {
+                "errors": self.n_errors,
+                "warnings": self.n_warnings,
+                "infos": self.n_infos,
+                "exit_code": self.exit_code,
+            },
+        }
+
+    def summary(self) -> str:
+        """One-line human summary, consumed by the observability exporters."""
+        return (
+            f"lint: {self.n_errors} error(s), {self.n_warnings} warning(s), "
+            f"{self.n_infos} info(s) — {len(self.rules_run)} rule(s) run, "
+            f"{len(self.rules_skipped)} skipped"
+        )
+
 
 def run_lint(
     context: LintContext,
     select: Iterable[str] | None = None,
     ignore: Iterable[str] | None = None,
     severities: Mapping[str, Severity] | None = None,
+    instrument: Instrumentation | None = None,
 ) -> LintReport:
     """Run every applicable rule over ``context``.
 
@@ -99,7 +131,11 @@ def run_lint(
     severities:
         Per-code severity overrides, e.g. ``{"THY001": Severity.ERROR}``
         to turn the optimality warning into a gating error.
+    instrument:
+        Optional :class:`~repro.obs.Instrumentation`; per-rule timings
+        land in the ``lint.rule_us`` histogram and one span per rule.
     """
+    obs = resolve(instrument)
     enabled = set(resolve_codes(select)) if select is not None else set(RULES)
     if ignore is not None:
         enabled -= set(resolve_codes(ignore))
@@ -111,40 +147,48 @@ def run_lint(
             resolve_codes([code])  # raises with the known-code list
 
     report = LintReport()
-    for code, rule in RULES.items():
-        if code not in enabled:
-            continue
-        if not rule.applicable(context):
-            report.rules_skipped.append(code)
-            continue
-        report.rules_run.append(code)
-        severity = overrides.get(code)
-        produced = 0
-        for diag in rule.check(context):
-            produced += 1
-            if produced > MAX_DIAGNOSTICS_PER_RULE:
+    with obs.span("lint.run", n_rules=len(enabled)):
+        for code, rule in RULES.items():
+            if code not in enabled:
                 continue
-            if severity is not None and diag.severity != severity:
-                diag = Diagnostic(
-                    code=diag.code,
-                    severity=severity,
-                    message=diag.message,
-                    datum=diag.datum,
-                    window=diag.window,
-                    processor=diag.processor,
-                    hint=diag.hint,
+            if not rule.applicable(context):
+                report.rules_skipped.append(code)
+                continue
+            report.rules_run.append(code)
+            severity = overrides.get(code)
+            produced = 0
+            with obs.span("lint.rule", code=code) as rule_span:
+                for diag in rule.check(context):
+                    produced += 1
+                    if produced > MAX_DIAGNOSTICS_PER_RULE:
+                        continue
+                    if severity is not None and diag.severity != severity:
+                        diag = Diagnostic(
+                            code=diag.code,
+                            severity=severity,
+                            message=diag.message,
+                            datum=diag.datum,
+                            window=diag.window,
+                            processor=diag.processor,
+                            hint=diag.hint,
+                        )
+                    report.diagnostics.append(diag)
+                rule_span.set(findings=produced)
+            if obs.enabled:
+                obs.observe("lint.rule_us", rule_span.duration_us)
+            if produced > MAX_DIAGNOSTICS_PER_RULE:
+                report.diagnostics.append(
+                    Diagnostic(
+                        code=code,
+                        severity=Severity.INFO,
+                        message=(
+                            f"{produced - MAX_DIAGNOSTICS_PER_RULE} further "
+                            f"{code} diagnostics suppressed "
+                            f"(showing first {MAX_DIAGNOSTICS_PER_RULE})"
+                        ),
+                    )
                 )
-            report.diagnostics.append(diag)
-        if produced > MAX_DIAGNOSTICS_PER_RULE:
-            report.diagnostics.append(
-                Diagnostic(
-                    code=code,
-                    severity=Severity.INFO,
-                    message=(
-                        f"{produced - MAX_DIAGNOSTICS_PER_RULE} further "
-                        f"{code} diagnostics suppressed "
-                        f"(showing first {MAX_DIAGNOSTICS_PER_RULE})"
-                    ),
-                )
-            )
+        obs.count("lint.diagnostics.error", report.n_errors)
+        obs.count("lint.diagnostics.warning", report.n_warnings)
+        obs.count("lint.diagnostics.info", report.n_infos)
     return report

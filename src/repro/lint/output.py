@@ -45,18 +45,9 @@ def render_human(report: LintReport) -> str:
 
 def render_json(report: LintReport) -> str:
     """Machine-readable JSON: diagnostics, rule coverage and the gate."""
-    payload = {
-        "version": 1,
-        "diagnostics": [d.to_dict() for d in report.diagnostics],
-        "rules_run": list(report.rules_run),
-        "rules_skipped": list(report.rules_skipped),
-        "summary": {
-            "errors": report.n_errors,
-            "warnings": report.n_warnings,
-            "infos": report.n_infos,
-            "exit_code": report.exit_code,
-        },
-    }
+    # same payload as LintReport.to_dict() (the unified result protocol),
+    # minus the "kind" discriminator this renderer predates
+    payload = {k: v for k, v in report.to_dict().items() if k != "kind"}
     return json.dumps(payload, indent=2)
 
 

@@ -1,0 +1,57 @@
+"""Observability: span tracing, metrics and exporters (docs/observability.md).
+
+The subsystem is dark by default: every instrumented function resolves
+its ``instrument`` argument to the shared no-op handle unless a caller
+passes an :class:`Instrumentation` or installs one process-wide with
+:func:`instrumented` (what ``repro profile`` and ``--metrics`` do).
+
+Quickstart::
+
+    from repro.obs import Instrumentation, render_summary
+    from repro import schedule
+
+    instr = Instrumentation.started()
+    sched = schedule(tensor, model, algorithm="gomcds", instrument=instr)
+    print(render_summary(instr))
+"""
+
+from .instrument import NOOP, Instrumentation, active, instrumented, resolve
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullMetricsRegistry,
+)
+from .tracer import NULL_SPAN, NullTracer, Span, Tracer
+from .export import (
+    EXPORT_FORMATS,
+    chrome_trace,
+    render_chrome,
+    render_summary,
+    to_jsonl,
+    write_export,
+)
+
+__all__ = [
+    "Instrumentation",
+    "NOOP",
+    "resolve",
+    "active",
+    "instrumented",
+    "Tracer",
+    "NullTracer",
+    "Span",
+    "NULL_SPAN",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullMetricsRegistry",
+    "render_summary",
+    "to_jsonl",
+    "chrome_trace",
+    "render_chrome",
+    "write_export",
+    "EXPORT_FORMATS",
+]

@@ -1,0 +1,226 @@
+"""Exporters: human summary, JSON-lines, and Chrome trace-event JSON.
+
+Three consumers, three formats:
+
+* :func:`render_summary` — indented span tree with durations plus a
+  metrics table, for terminal reading;
+* :func:`to_jsonl` — one self-describing JSON object per line
+  (``{"type": "span" | "counter" | "gauge" | "histogram" | "result"}``),
+  the format written by the CLI's ``--metrics <path>`` flag;
+* :func:`chrome_trace` — the Chrome trace-event format (`ph: "X"`
+  complete events for spans, ``ph: "C"`` counter series for timestamped
+  histogram samples) loadable in ``chrome://tracing`` and Perfetto.
+
+Exporters also accept *result* objects — anything implementing the
+unified ``to_dict()`` / ``summary()`` protocol shared by
+:class:`~repro.core.CostBreakdown`, :class:`~repro.sim.SimReport` and
+:class:`~repro.lint.LintReport` — and embed them alongside spans and
+metrics, so a profile run carries its answers next to its timings.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from .instrument import Instrumentation
+
+__all__ = [
+    "render_summary",
+    "to_jsonl",
+    "chrome_trace",
+    "render_chrome",
+    "write_export",
+    "EXPORT_FORMATS",
+]
+
+EXPORT_FORMATS = ("summary", "jsonl", "chrome")
+
+
+def _jsonable(value):
+    """Coerce numpy scalars / arrays and other odd values to JSON types."""
+    if isinstance(value, (str, bool, int, float)) or value is None:
+        return value
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    for caster in (int, float):
+        try:
+            return caster(value)
+        except (TypeError, ValueError):
+            continue
+    return str(value)
+
+
+def _result_records(results) -> list[dict]:
+    records = []
+    for result in results or ():
+        record = {"type": "result", "summary": result.summary()}
+        record.update(_jsonable(result.to_dict()))
+        records.append(record)
+    return records
+
+
+def render_summary(instrument: Instrumentation, results=()) -> str:
+    """Human-readable profile: span tree, metrics table, result lines."""
+    lines = []
+    spans = instrument.tracer.spans
+    if spans:
+        lines.append("Spans (wall time):")
+        for span in spans:
+            attrs = ", ".join(
+                f"{k}={_fmt(v)}" for k, v in span.attrs.items()
+            )
+            suffix = f"  [{attrs}]" if attrs else ""
+            lines.append(
+                f"  {'  ' * span.depth}{span.name}: "
+                f"{span.duration_us / 1000.0:.3f} ms{suffix}"
+            )
+    metric_records = instrument.metrics.to_dicts()
+    if metric_records:
+        lines.append("Metrics:")
+        for rec in metric_records:
+            if rec["kind"] == "histogram":
+                detail = (
+                    f"count={rec['count']} total={_fmt(rec['total'])} "
+                    f"mean={_fmt(rec['mean'])}"
+                )
+                if "max" in rec:
+                    detail += (
+                        f" p50={_fmt(rec['p50'])} p95={_fmt(rec['p95'])} "
+                        f"max={_fmt(rec['max'])}"
+                    )
+                lines.append(f"  {rec['name']} ({rec['kind']}): {detail}")
+            else:
+                lines.append(
+                    f"  {rec['name']} ({rec['kind']}): {_fmt(rec['value'])}"
+                )
+    for result in results or ():
+        lines.append(result.summary())
+    if not lines:
+        lines.append("(no spans or metrics recorded)")
+    return "\n".join(lines)
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        return f"{value:g}"
+    return str(value)
+
+
+def to_jsonl(instrument: Instrumentation, results=()) -> str:
+    """One JSON object per line: spans, then metrics, then results."""
+    records = []
+    for span in instrument.tracer.spans:
+        rec = {"type": "span"}
+        rec.update(_jsonable(span.to_dict()))
+        records.append(rec)
+    for metric in instrument.metrics.to_dicts():
+        rec = {"type": metric["kind"]}
+        rec.update(_jsonable({k: v for k, v in metric.items() if k != "kind"}))
+        records.append(rec)
+    records.extend(_result_records(results))
+    return "\n".join(json.dumps(rec, sort_keys=True) for rec in records)
+
+
+def chrome_trace(instrument: Instrumentation, results=()) -> dict:
+    """Chrome trace-event JSON object (``chrome://tracing`` / Perfetto).
+
+    Spans become complete events (``ph: "X"``, microsecond ``ts`` /
+    ``dur``); histogram samples that carry a timestamp become counter
+    series (``ph: "C"``), which Perfetto renders as per-window charts —
+    this is where the replay's per-window hop metrics surface.  Result
+    objects ride along as instant events at the end of the trace.
+    """
+    events = [
+        {
+            "name": "repro",
+            "ph": "M",
+            "pid": 0,
+            "tid": 0,
+            "ts": 0,
+            "cat": "__metadata",
+            "args": {"name": "repro profile"},
+        }
+    ]
+    last_ts = 0.0
+    for span in instrument.tracer.spans:
+        last_ts = max(last_ts, span.start_us + span.duration_us)
+        events.append(
+            {
+                "name": span.name,
+                "cat": "repro",
+                "ph": "X",
+                "ts": span.start_us,
+                "dur": span.duration_us,
+                "pid": 0,
+                "tid": 0,
+                "args": _jsonable(span.attrs),
+            }
+        )
+    for hist in instrument.metrics.histograms.values():
+        for ts, value in hist.timed_samples():
+            last_ts = max(last_ts, ts)
+            events.append(
+                {
+                    "name": hist.name,
+                    "cat": "repro.metrics",
+                    "ph": "C",
+                    "ts": ts,
+                    "pid": 0,
+                    "args": {"value": value},
+                }
+            )
+    for record in _result_records(results):
+        events.append(
+            {
+                "name": record.get("kind", "result"),
+                "cat": "repro.results",
+                "ph": "i",
+                "s": "g",
+                "ts": last_ts,
+                "pid": 0,
+                "tid": 0,
+                "args": record,
+            }
+        )
+    counters = {
+        name: counter.value
+        for name, counter in instrument.metrics.counters.items()
+    }
+    gauges = {
+        name: gauge.value for name, gauge in instrument.metrics.gauges.items()
+    }
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": _jsonable({"counters": counters, "gauges": gauges}),
+    }
+
+
+def render_chrome(instrument: Instrumentation, results=()) -> str:
+    return json.dumps(chrome_trace(instrument, results))
+
+
+def write_export(
+    instrument: Instrumentation,
+    fmt: str,
+    path: str | Path | None,
+    results=(),
+) -> str:
+    """Render ``fmt`` and write it to ``path`` (or return it for stdout)."""
+    renderer = {
+        "summary": render_summary,
+        "jsonl": to_jsonl,
+        "chrome": render_chrome,
+    }
+    try:
+        text = renderer[fmt](instrument, results)
+    except KeyError:
+        raise ValueError(
+            f"unknown export format {fmt!r}; known: {', '.join(EXPORT_FORMATS)}"
+        ) from None
+    if path is not None:
+        Path(path).write_text(text + "\n")
+    return text

@@ -34,6 +34,7 @@ from ..core import CostModel, Schedule
 from ..faults import FaultInjector, FaultPlan, RetryPolicy, plan_evacuation
 from ..grid import FaultAwareRouter, XYRouter
 from ..mem import CapacityError, CapacityPlan
+from ..obs import Instrumentation, resolve
 from ..trace import Trace
 from .machine import PIMArray, ResidencyError
 from .stats import SimReport
@@ -50,6 +51,7 @@ def replay_schedule(
     faults: FaultPlan | None = None,
     retry: RetryPolicy | None = None,
     evacuate: bool = True,
+    instrument: Instrumentation | None = None,
 ) -> SimReport:
     """Execute ``schedule`` against ``trace`` and report observed costs.
 
@@ -81,6 +83,10 @@ def replay_schedule(
         memories.  With ``False`` the victims stay stranded and their
         references become unreachable (used to quantify what recovery
         buys).  Ignored without faults.
+    instrument:
+        Optional :class:`~repro.obs.Instrumentation`; defaults to the
+        active (usually no-op) handle.  Tracing is strictly read-only —
+        a fault-free replay is bit-identical with or without it.
     """
     windows = schedule.windows
     if windows.n_steps != trace.n_steps:
@@ -90,6 +96,7 @@ def replay_schedule(
     if trace.n_procs != model.n_procs:
         raise ValueError("trace and cost model disagree on the array size")
 
+    obs = resolve(instrument)
     if faults is not None and not faults.is_empty:
         return _replay_with_faults(
             trace,
@@ -100,6 +107,7 @@ def replay_schedule(
             faults,
             retry or RetryPolicy(),
             evacuate,
+            obs,
         )
 
     machine = PIMArray(model.topology, capacity)
@@ -112,41 +120,69 @@ def replay_schedule(
     order = np.argsort(event_windows, kind="stable")
     boundaries = np.searchsorted(event_windows[order], np.arange(windows.n_windows + 1))
 
-    for w in range(windows.n_windows):
-        if w > 0:
-            _relocate_for_window(machine, schedule, model, w, report, router)
-        idx = order[boundaries[w] : boundaries[w + 1]]
-        procs = trace.procs[idx]
-        data = trace.data[idx]
-        counts = trace.counts[idx]
-        centers = machine.locations()[data]
-        expected = schedule.centers[data, w]
-        diverged = np.nonzero(centers != expected)[0]
-        if len(diverged):
-            i = int(diverged[0])
-            raise ResidencyError(
-                f"machine residency diverged from the schedule: datum "
-                f"{int(data[i])} resides at {int(centers[i])}, scheduled at "
-                f"{int(expected[i])}",
-                datum=int(data[i]),
-                claimed=int(expected[i]),
-                actual=int(centers[i]),
-                window=w,
-            )
-        vols = (
-            np.ones(len(idx))
-            if model.volumes is None
-            else np.asarray(model.volumes)[data]
-        )
-        hop_costs = dist[centers, procs] * counts * vols
-        report.reference_cost += float(hop_costs.sum())
-        report.per_window_cost[w] += float(hop_costs.sum())
-        report.n_fetches += int(len(idx))
-        report.n_local_fetches += int((centers == procs).sum())
-        if router is not None:
-            for c, p, volume in zip(centers, procs, counts * vols):
-                if c != p:
-                    report.add_link_traffic(router.links(int(c), int(p)), float(volume))
+    with obs.span(
+        "sim.replay",
+        n_windows=windows.n_windows,
+        n_steps=trace.n_steps,
+        method=schedule.method,
+        faults=False,
+    ):
+        for w in range(windows.n_windows):
+            with obs.span("sim.window", window=w) as window_span:
+                if w > 0:
+                    _relocate_for_window(
+                        machine, schedule, model, w, report, router
+                    )
+                idx = order[boundaries[w] : boundaries[w + 1]]
+                procs = trace.procs[idx]
+                data = trace.data[idx]
+                counts = trace.counts[idx]
+                centers = machine.locations()[data]
+                expected = schedule.centers[data, w]
+                diverged = np.nonzero(centers != expected)[0]
+                if len(diverged):
+                    i = int(diverged[0])
+                    raise ResidencyError(
+                        f"machine residency diverged from the schedule: datum "
+                        f"{int(data[i])} resides at {int(centers[i])}, "
+                        f"scheduled at {int(expected[i])}",
+                        datum=int(data[i]),
+                        claimed=int(expected[i]),
+                        actual=int(centers[i]),
+                        window=w,
+                    )
+                vols = (
+                    np.ones(len(idx))
+                    if model.volumes is None
+                    else np.asarray(model.volumes)[data]
+                )
+                hop_costs = dist[centers, procs] * counts * vols
+                report.reference_cost += float(hop_costs.sum())
+                report.per_window_cost[w] += float(hop_costs.sum())
+                report.n_fetches += int(len(idx))
+                report.n_local_fetches += int((centers == procs).sum())
+                if router is not None:
+                    for c, p, volume in zip(centers, procs, counts * vols):
+                        if c != p:
+                            report.add_link_traffic(
+                                router.links(int(c), int(p)), float(volume)
+                            )
+                if obs.enabled:
+                    hops = float((dist[centers, procs] * counts).sum())
+                    obs.observe("sim.window_hops", hops)
+                    obs.observe(
+                        "sim.window_cost", float(report.per_window_cost[w])
+                    )
+                    window_span.set(
+                        fetches=int(len(idx)),
+                        local=int((centers == procs).sum()),
+                        hops=hops,
+                        cost=float(report.per_window_cost[w]),
+                    )
+        obs.count("sim.fetches", report.n_fetches)
+        obs.count("sim.local_fetches", report.n_local_fetches)
+        obs.count("sim.moves", report.n_moves)
+        obs.count("sim.movement_volume", report.movement_cost)
     report.n_delivered = report.n_fetches
     return report
 
@@ -190,6 +226,7 @@ def _replay_with_faults(
     faults: FaultPlan,
     retry: RetryPolicy,
     evacuate: bool,
+    obs: Instrumentation,
 ) -> SimReport:
     """Execute the schedule while injecting ``faults``.
 
@@ -207,45 +244,78 @@ def _replay_with_faults(
     order = np.argsort(event_windows, kind="stable")
     boundaries = np.searchsorted(event_windows[order], np.arange(windows.n_windows + 1))
 
-    for w in range(windows.n_windows):
-        router = injector.router(w)
-        alive = injector.alive_mask(w)
+    with obs.span(
+        "sim.replay",
+        n_windows=windows.n_windows,
+        n_steps=trace.n_steps,
+        method=schedule.method,
+        faults=True,
+    ):
+        for w in range(windows.n_windows):
+            with obs.span("sim.window", window=w) as window_span:
+                router = injector.router(w)
+                alive = injector.alive_mask(w)
 
-        newly_down = injector.newly_down(w)
-        if newly_down:
-            if evacuate:
-                _evacuate_nodes(
-                    machine, schedule, model, injector, w, newly_down, report,
-                    track_links,
-                )
-            else:
-                for pid in newly_down:
-                    report.n_lost += len(machine.residents(pid))
+                newly_down = injector.newly_down(w)
+                if newly_down:
+                    if evacuate:
+                        _evacuate_nodes(
+                            machine, schedule, model, injector, w, newly_down,
+                            report, track_links,
+                        )
+                    else:
+                        for pid in newly_down:
+                            report.n_lost += len(machine.residents(pid))
 
-        if w > 0:
-            _relocate_degraded(
-                machine, schedule, model, w, alive, router, report, track_links
-            )
+                if w > 0:
+                    _relocate_degraded(
+                        machine, schedule, model, w, alive, router, report,
+                        track_links,
+                    )
 
-        idx = order[boundaries[w] : boundaries[w + 1]]
-        locations = machine.locations()
-        for i in idx:
-            i = int(i)
-            p = int(trace.procs[i])
-            d = int(trace.data[i])
-            volume = float(trace.counts[i]) * model.volume(d)
-            center = int(locations[d])
-            report.n_fetches += 1
-            if not alive[p] or not alive[center]:
-                _record_unreachable(report, retry)
-                continue
-            route = router.route(center, p)
-            if route is None:
-                _record_unreachable(report, retry)
-                continue
-            _attempt_fetch(
-                report, retry, injector, w, i, route, volume, track_links
-            )
+                idx = order[boundaries[w] : boundaries[w + 1]]
+                locations = machine.locations()
+                delivered_before = report.n_delivered
+                for i in idx:
+                    i = int(i)
+                    p = int(trace.procs[i])
+                    d = int(trace.data[i])
+                    volume = float(trace.counts[i]) * model.volume(d)
+                    center = int(locations[d])
+                    report.n_fetches += 1
+                    if not alive[p] or not alive[center]:
+                        _record_unreachable(report, retry)
+                        continue
+                    route = router.route(center, p)
+                    if route is None:
+                        _record_unreachable(report, retry)
+                        continue
+                    _attempt_fetch(
+                        report, retry, injector, w, i, route, volume, track_links
+                    )
+                if obs.enabled:
+                    obs.observe(
+                        "sim.window_cost", float(report.per_window_cost[w])
+                    )
+                    obs.observe(
+                        "sim.window_delivered",
+                        report.n_delivered - delivered_before,
+                    )
+                    window_span.set(
+                        fetches=int(len(idx)),
+                        delivered=report.n_delivered - delivered_before,
+                        down_nodes=len(injector.down_nodes(w)),
+                        cost=float(report.per_window_cost[w]),
+                    )
+        obs.count("sim.fetches", report.n_fetches)
+        obs.count("sim.moves", report.n_moves)
+        obs.count("faults.delivered", report.n_delivered)
+        obs.count("faults.retries", report.n_retries)
+        obs.count("faults.dropped", report.n_dropped)
+        obs.count("faults.unreachable", report.n_unreachable)
+        obs.count("faults.evacuated", report.n_evacuated)
+        obs.count("faults.lost", report.n_lost)
+        obs.count("faults.skipped_moves", report.n_skipped_moves)
     return report
 
 

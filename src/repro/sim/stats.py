@@ -88,6 +88,53 @@ class SimReport:
         for link in links:
             self.link_traffic[link] = self.link_traffic.get(link, 0.0) + volume
 
+    # -- unified result protocol (shared with CostBreakdown / LintReport) ----
+
+    def to_dict(self) -> dict:
+        """Serializable record (``kind`` discriminates result types)."""
+        return {
+            "kind": "sim_report",
+            "reference_cost": self.reference_cost,
+            "movement_cost": self.movement_cost,
+            "total_cost": self.total_cost,
+            "degraded_cost": self.degraded_cost,
+            "evacuation_cost": self.evacuation_cost,
+            "retry_cost": self.retry_cost,
+            "retry_wait_cycles": self.retry_wait_cycles,
+            "n_fetches": self.n_fetches,
+            "n_local_fetches": self.n_local_fetches,
+            "n_moves": self.n_moves,
+            "n_delivered": self.n_delivered,
+            "n_retries": self.n_retries,
+            "n_dropped": self.n_dropped,
+            "n_unreachable": self.n_unreachable,
+            "n_evacuated": self.n_evacuated,
+            "n_lost": self.n_lost,
+            "n_skipped_moves": self.n_skipped_moves,
+            "completion_rate": self.completion_rate,
+            "max_link_load": self.max_link_load,
+            "total_link_traffic": self.total_link_traffic,
+            "per_window_cost": (
+                None
+                if self.per_window_cost is None
+                else [float(c) for c in self.per_window_cost]
+            ),
+        }
+
+    def summary(self) -> str:
+        """One-line human summary, consumed by the observability exporters."""
+        line = (
+            f"replay: total {self.total_cost:g} (reference "
+            f"{self.reference_cost:g} + movement {self.movement_cost:g}), "
+            f"{self.n_delivered}/{self.n_fetches} delivered"
+        )
+        if self.n_dropped or self.n_unreachable or self.n_lost:
+            line += (
+                f", degraded {self.degraded_cost:g} ({self.n_dropped} dropped, "
+                f"{self.n_unreachable} unreachable, {self.n_lost} lost)"
+            )
+        return line
+
     def as_breakdown(self) -> CostBreakdown:
         return CostBreakdown(self.reference_cost, self.movement_cost)
 

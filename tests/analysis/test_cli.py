@@ -128,3 +128,31 @@ def test_all_ablation_commands(capsys):
     ):
         out = run(capsys, command)
         assert out.strip(), command
+
+
+def test_metrics_flag_records_any_subcommand(tmp_path, capsys):
+    import json
+
+    path = tmp_path / "metrics.jsonl"
+    run(capsys, "figure1", "--metrics", str(path))
+    records = [json.loads(line) for line in path.read_text().splitlines()]
+    names = {r["name"] for r in records if r["type"] == "span"}
+    # figure1 runs all three offline schedulers under the active session
+    assert {"scheduler.scds", "scheduler.lomcds", "scheduler.gomcds"} <= names
+
+
+def test_metrics_flag_composes_with_profile(tmp_path, capsys):
+    import json
+
+    path = tmp_path / "metrics.jsonl"
+    run(
+        capsys,
+        "profile", "--benchmarks", "1", "--size", "8",
+        "--metrics", str(path),
+    )
+    records = [json.loads(line) for line in path.read_text().splitlines()]
+    # profile joins the active --metrics session instead of forking one
+    assert any(
+        r["type"] == "span" and r["name"] == "profile.instance"
+        for r in records
+    )

@@ -1,0 +1,117 @@
+"""``profile_suite`` and the ``repro profile`` CLI subcommand."""
+
+import json
+
+import pytest
+
+from repro.analysis import PROFILE_SCHEDULERS, profile_suite
+from repro.cli import main
+from repro.obs import Instrumentation
+
+
+def test_suite_mode_profiles_requested_benchmarks():
+    result = profile_suite(benchmarks=(1, 2), size=8)
+    instances = [
+        s for s in result.instrument.tracer.spans if s.name == "profile.instance"
+    ]
+    assert [s.attrs["workload"] for s in instances] == [
+        "bench1:lu",
+        "bench2:matsq",
+    ]
+    # one CostBreakdown per scheduler per instance, plus one SimReport each
+    kinds = [r.to_dict()["kind"] for r in result.results]
+    assert kinds.count("cost_breakdown") == 2 * len(PROFILE_SCHEDULERS)
+    assert kinds.count("sim_report") == 2
+    assert len(result.rows) == 2 * len(PROFILE_SCHEDULERS)
+
+
+def test_scheduler_phase_spans_recorded():
+    result = profile_suite(benchmarks=(1,), size=8)
+    names = {s.name for s in result.instrument.tracer.spans}
+    assert {"scheduler.scds", "scheduler.lomcds", "scheduler.gomcds"} <= names
+    assert {"gomcds.cost_tensor", "gomcds.dp_sweep"} & names
+    # replay of the last scheduler landed per-window metrics
+    assert "sim.window" in names
+    assert result.instrument.metrics.histograms["sim.window_hops"].count > 0
+
+
+def test_paper_kernel_name_profiles_suite():
+    # 'lu' is a paper kernel: it selects suite mode (benchmarks are
+    # compositions of the paper kernels), honoring --benchmarks
+    result = profile_suite(workload="lu", benchmarks=(3,), size=8)
+    instances = [
+        s for s in result.instrument.tracer.spans if s.name == "profile.instance"
+    ]
+    assert [s.attrs["workload"] for s in instances] == ["bench3:lu+code"]
+
+
+def test_extended_kernel_profiles_single_workload():
+    result = profile_suite(workload="fft", size=8, schedulers=("GOMCDS",))
+    instances = [
+        s for s in result.instrument.tracer.spans if s.name == "profile.instance"
+    ]
+    assert [s.attrs["workload"] for s in instances] == ["fft"]
+    assert [r["scheduler"] for r in result.rows] == ["GOMCDS"]
+
+
+def test_unknown_workload_raises():
+    with pytest.raises(ValueError, match="unknown workload"):
+        profile_suite(workload="nosuch")
+
+
+def test_no_replay_skips_sim():
+    result = profile_suite(benchmarks=(1,), size=8, replay=False)
+    kinds = [r.to_dict()["kind"] for r in result.results]
+    assert "sim_report" not in kinds
+    assert "sim.window_hops" not in result.instrument.metrics.histograms
+
+
+def test_explicit_instrument_session_is_used():
+    instr = Instrumentation.started()
+    result = profile_suite(benchmarks=(1,), size=8, instrument=instr)
+    assert result.instrument is instr
+    assert len(instr.tracer) > 0
+
+
+def test_cli_profile_summary(capsys):
+    assert main(["profile", "--benchmarks", "1", "--size", "8"]) == 0
+    out = capsys.readouterr().out
+    assert "profile.instance" in out
+    assert "sim.window_hops (histogram)" in out
+    assert "cost: total" in out
+
+
+def test_cli_profile_chrome_to_file(tmp_path, capsys):
+    path = tmp_path / "trace.json"
+    code = main(
+        [
+            "profile", "--workload", "lu", "--size", "8",
+            "--format", "chrome", "--output", str(path),
+        ]
+    )
+    assert code == 0
+    trace = json.loads(path.read_text())
+    events = trace["traceEvents"]
+    span_names = {e["name"] for e in events if e["ph"] == "X"}
+    assert "scheduler.gomcds" in span_names
+    assert any(
+        e["ph"] == "C" and e["name"] == "sim.window_hops" for e in events
+    )
+    # benchmarks 1-5 all profiled
+    workloads = {
+        e["args"]["workload"]
+        for e in events
+        if e["ph"] == "X" and e["name"] == "profile.instance"
+    }
+    assert len(workloads) == 5
+    out = capsys.readouterr().out
+    assert "wrote chrome export" in out
+    assert "GOMCDS" in out  # rows table still printed
+
+
+def test_cli_profile_unknown_workload_is_config_error(capsys):
+    from repro.cli import EXIT_CONFIG_ERROR
+
+    code = main(["profile", "--workload", "nosuch", "--size", "8"])
+    assert code == EXIT_CONFIG_ERROR
+    assert "unknown workload" in capsys.readouterr().err

@@ -75,6 +75,53 @@ def test_capacity_displacement_prefers_staying_put_when_idle():
     assert sched.centers[1].tolist() == [2, 2]
 
 
+def test_idle_window_eviction_when_held_slot_is_taken():
+    # Tight capacity: one slot per processor.  Datum 0 (higher reference
+    # volume, placed first) sits at proc 1 in window 0 and moves to
+    # proc 0 in window 1.  Datum 1 lands at proc 0 in window 0 and is
+    # idle in window 1 — it would hold position, but its slot is now
+    # claimed by datum 0, so the `prev`-occupied eviction branch walks
+    # the processor list and relocates it to proc 1.
+    counts = [
+        [[0, 5], [5, 0]],
+        [[2, 0], [0, 0]],
+    ]
+    tensor, model = tensor_1d(counts)
+    cap = CapacityPlan.uniform(2, 1)
+
+    from repro.obs import Instrumentation
+
+    instr = Instrumentation.started()
+    sched = lomcds(tensor, model, capacity=cap, instrument=instr)
+    assert sched.centers[0].tolist() == [1, 0]
+    # evicted: could not stay at proc 0 while idle
+    assert sched.centers[1].tolist() == [0, 1]
+    assert (sched.occupancy(2) <= 1).all()
+    assert instr.metrics.counters["lomcds.idle_evictions"].value == 1
+    assert instr.metrics.counters["lomcds.idle_holds"].value == 0
+
+    # with room to spare the same datum holds position instead
+    roomy = lomcds(tensor, model, capacity=CapacityPlan.uniform(2, 2))
+    assert roomy.centers[1].tolist() == [0, 0]
+
+
+def test_idle_hold_is_counted():
+    # same shape but capacity 2: the idle window becomes a hold, and the
+    # instrumentation counters flip accordingly
+    counts = [
+        [[0, 5], [5, 0]],
+        [[2, 0], [0, 0]],
+    ]
+    tensor, model = tensor_1d(counts)
+
+    from repro.obs import Instrumentation
+
+    instr = Instrumentation.started()
+    lomcds(tensor, model, capacity=CapacityPlan.uniform(2, 2), instrument=instr)
+    assert instr.metrics.counters["lomcds.idle_holds"].value == 1
+    assert instr.metrics.counters["lomcds.idle_evictions"].value == 0
+
+
 def test_infeasible_raises():
     tensor, model = tensor_1d([[[1, 0]], [[0, 1]], [[1, 1]]])
     with pytest.raises(CapacityError):

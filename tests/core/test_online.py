@@ -102,9 +102,11 @@ def test_bad_hysteresis_rejected(drift, mesh44):
 
 
 def test_registered_in_scheduler_registry():
-    from repro.core import get_scheduler
+    from repro.core import SCHEDULERS, get_scheduler
 
-    assert get_scheduler("omcds") is omcds
+    # get_scheduler returns the uniformly-shaped spec wrapping the function
+    assert get_scheduler("omcds").func is omcds
+    assert SCHEDULERS["OMCDS"] is omcds
 
 
 def test_method_label(drift, mesh44):

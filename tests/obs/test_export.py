@@ -1,0 +1,102 @@
+"""Exporter tests: summary, JSON-lines and Chrome trace-event output."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.obs import (
+    EXPORT_FORMATS,
+    Instrumentation,
+    NOOP,
+    chrome_trace,
+    render_chrome,
+    render_summary,
+    to_jsonl,
+    write_export,
+)
+
+
+class FakeResult:
+    """Minimal object implementing the unified result protocol."""
+
+    def to_dict(self):
+        return {"kind": "fake", "total": np.float64(7.0)}
+
+    def summary(self):
+        return "fake: total 7"
+
+
+def session():
+    instr = Instrumentation.started()
+    with instr.span("outer", workload="lu"):
+        with instr.span("inner"):
+            instr.count("events", 3)
+        instr.gauge("size", 16)
+        instr.observe("hops", 5.0)
+        instr.observe("hops", 9.0)
+    return instr
+
+
+def test_render_summary_contains_spans_metrics_results():
+    text = render_summary(session(), results=[FakeResult()])
+    assert "outer" in text and "inner" in text
+    assert "workload=lu" in text
+    assert "events (counter): 3" in text
+    assert "hops (histogram)" in text
+    assert "fake: total 7" in text
+
+
+def test_render_summary_empty_session():
+    assert "no spans" in render_summary(Instrumentation.started())
+
+
+def test_jsonl_lines_are_valid_and_typed():
+    text = to_jsonl(session(), results=[FakeResult()])
+    records = [json.loads(line) for line in text.splitlines()]
+    types = {rec["type"] for rec in records}
+    assert {"span", "counter", "gauge", "histogram", "result"} <= types
+    result = next(r for r in records if r["type"] == "result")
+    assert result["total"] == 7.0  # numpy scalar sanitized
+    assert result["summary"] == "fake: total 7"
+    span = next(r for r in records if r["type"] == "span")
+    assert {"name", "start_us", "duration_us", "depth", "attrs"} <= set(span)
+
+
+def test_chrome_trace_structure():
+    trace = chrome_trace(session(), results=[FakeResult()])
+    # round-trips through JSON
+    trace = json.loads(json.dumps(trace))
+    events = trace["traceEvents"]
+    phases = {e["ph"] for e in events}
+    assert {"M", "X", "C", "i"} <= phases
+    spans = [e for e in events if e["ph"] == "X"]
+    assert {e["name"] for e in spans} == {"outer", "inner"}
+    for e in spans:
+        assert e["ts"] >= 0 and e["dur"] >= 0
+    counters = [e for e in events if e["ph"] == "C"]
+    assert [e["args"]["value"] for e in counters] == [5.0, 9.0]
+    assert trace["otherData"]["counters"]["events"] == 3.0
+    assert trace["otherData"]["gauges"]["size"] == 16.0
+
+
+def test_render_chrome_is_parseable_json():
+    assert json.loads(render_chrome(session()))["displayTimeUnit"] == "ms"
+
+
+def test_write_export_to_file(tmp_path):
+    path = tmp_path / "out.jsonl"
+    text = write_export(session(), "jsonl", path)
+    assert path.read_text() == text + "\n"
+
+
+def test_write_export_unknown_format_raises():
+    with pytest.raises(ValueError, match="unknown export format"):
+        write_export(session(), "xml", None)
+    assert set(EXPORT_FORMATS) == {"summary", "jsonl", "chrome"}
+
+
+def test_noop_session_exports_cleanly():
+    # NOOP records nothing but still exports without error
+    assert json.loads(render_chrome(NOOP))["traceEvents"][0]["ph"] == "M"
+    assert to_jsonl(NOOP) == ""

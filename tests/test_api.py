@@ -1,0 +1,143 @@
+"""The unified ``repro.schedule`` facade and SchedulerSpec registry."""
+
+import dataclasses
+import math
+
+import numpy as np
+import pytest
+
+import repro
+from repro import schedule
+from repro.core import (
+    SCHEDULER_SPECS,
+    SCHEDULERS,
+    CostModel,
+    SchedulerSpec,
+    evaluate_schedule,
+    get_scheduler,
+    gomcds,
+    lomcds,
+    omcds,
+    scds,
+    scheduler_spec,
+)
+from repro.mem import CapacityPlan
+
+
+def test_facade_is_re_exported_from_package_root():
+    assert repro.schedule is schedule
+    assert repro.scheduler_spec is scheduler_spec
+    assert repro.SchedulerSpec is SchedulerSpec
+
+
+def test_default_algorithm_is_gomcds(lu8_tensor, model44):
+    assert np.array_equal(
+        schedule(lu8_tensor, model44).centers,
+        gomcds(lu8_tensor, model44).centers,
+    )
+
+
+@pytest.mark.parametrize(
+    ("name", "func"),
+    [("scds", scds), ("LOMCDS", lomcds), ("GoMcDs", gomcds)],
+)
+def test_facade_matches_direct_call(name, func, lu8_tensor, model44, lu8):
+    cap = CapacityPlan.paper_rule(lu8.n_data, 16)
+    via_facade = schedule(lu8_tensor, model44, algorithm=name, capacity=cap)
+    direct = func(lu8_tensor, model44, capacity=cap)
+    assert np.array_equal(via_facade.centers, direct.centers)
+
+
+def test_facade_forwards_algorithm_kwargs(drift, model44):
+    tensor = drift.reference_tensor()
+    via_facade = schedule(
+        tensor, model44, algorithm="omcds", hysteresis=math.inf
+    )
+    assert np.array_equal(
+        via_facade.centers, omcds(tensor, model44, hysteresis=math.inf).centers
+    )
+
+
+def test_facade_accepts_spec_object(lu8_tensor, model44):
+    spec = scheduler_spec("scds")
+    sched = schedule(lu8_tensor, model44, algorithm=spec)
+    assert sched.method == "SCDS"
+
+
+def test_unknown_algorithm_raises_with_known_names(lu8_tensor, model44):
+    with pytest.raises(KeyError, match="GOMCDS"):
+        schedule(lu8_tensor, model44, algorithm="quantum")
+
+
+def test_spec_registry_shape():
+    assert set(SCHEDULER_SPECS) == {"SCDS", "LOMCDS", "GOMCDS", "OMCDS"}
+    for name, spec in SCHEDULER_SPECS.items():
+        assert spec.name == name
+        assert SCHEDULERS[name] is spec.func
+        assert spec.to_dict()["name"] == name
+    assert SCHEDULER_SPECS["SCDS"].multi_center is False
+    assert SCHEDULER_SPECS["GOMCDS"].movement_aware is True
+    assert SCHEDULER_SPECS["OMCDS"].online is True
+
+
+def test_specs_are_frozen():
+    with pytest.raises(dataclasses.FrozenInstanceError):
+        SCHEDULER_SPECS["GOMCDS"].name = "other"
+
+
+def test_get_scheduler_returns_uniform_callable(lu8_tensor, model44):
+    spec = get_scheduler("gomcds")
+    assert isinstance(spec, SchedulerSpec)
+    # old positional-capacity call shape still works
+    sched = spec(lu8_tensor, model44, None)
+    assert sched.method == "GOMCDS"
+
+
+def test_cost_breakdown_result_protocol(lu8_tensor, model44):
+    breakdown = evaluate_schedule(
+        schedule(lu8_tensor, model44), lu8_tensor, model44
+    )
+    d = breakdown.to_dict()
+    assert d["kind"] == "cost_breakdown"
+    assert d["total"] == breakdown.total
+    assert d["reference_cost"] + d["movement_cost"] == pytest.approx(d["total"])
+    assert breakdown.summary().startswith("cost: total")
+
+
+def test_sim_report_result_protocol(lu8, lu8_tensor, model44):
+    from repro.sim import replay_schedule
+
+    report = replay_schedule(lu8.trace, schedule(lu8_tensor, model44), model44)
+    d = report.to_dict()
+    assert d["kind"] == "sim_report"
+    assert d["total_cost"] == report.total_cost
+    assert report.summary().startswith("replay: total")
+
+
+def test_lint_report_result_protocol(lu8, lu8_tensor, model44):
+    from repro.lint import LintContext, run_lint
+
+    report = run_lint(
+        LintContext(schedule=schedule(lu8_tensor, model44), model=model44)
+    )
+    d = report.to_dict()
+    assert d["kind"] == "lint_report"
+    assert isinstance(report.summary(), str)
+
+
+def test_results_interchangeable_in_exporters(lu8, lu8_tensor, model44):
+    import json
+
+    from repro.lint import LintContext, run_lint
+    from repro.obs import Instrumentation, to_jsonl
+    from repro.sim import replay_schedule
+
+    sched = schedule(lu8_tensor, model44)
+    results = [
+        evaluate_schedule(sched, lu8_tensor, model44),
+        replay_schedule(lu8.trace, sched, model44),
+        run_lint(LintContext(schedule=sched, model=model44)),
+    ]
+    text = to_jsonl(Instrumentation.started(), results=results)
+    kinds = [json.loads(line)["kind"] for line in text.splitlines()]
+    assert kinds == ["cost_breakdown", "sim_report", "lint_report"]
