@@ -24,7 +24,14 @@ from .experiments import (
 from .export import rows_to_csv, table_to_csv
 from .faults import DEFAULT_FAULT_RATES, fault_sweep, run_fault_replay
 from .profiling import PROFILE_SCHEDULERS, ProfileResult, profile_suite
-from .heatmap import render_heatmap, render_numeric_grid
+from .heatmap import render_heatmap, render_link_heatmap, render_numeric_grid
+from .regression import (
+    BENCH_SCHEDULERS,
+    BenchComparison,
+    compare_bench_reports,
+    load_bench_report,
+    run_bench_suite,
+)
 from .report import render_markdown_table, render_table
 from .summary import generate_report, write_report
 from .tables import SchedulerResult, Table, TableRow, percent_improvement
@@ -57,7 +64,13 @@ __all__ = [
     "profile_suite",
     "PROFILE_SCHEDULERS",
     "render_heatmap",
+    "render_link_heatmap",
     "render_numeric_grid",
+    "BENCH_SCHEDULERS",
+    "BenchComparison",
+    "run_bench_suite",
+    "load_bench_report",
+    "compare_bench_reports",
     "render_table",
     "render_markdown_table",
     "Table",

@@ -2,7 +2,8 @@
 
 Terminal-friendly rendering for examples and reports: memory occupancy,
 reference demand, link congestion endpoints — anything shaped like one
-value per processor.
+value per processor — plus :func:`render_link_heatmap` for per-wire
+traffic (the spatial-telemetry view, ``docs/observability.md``).
 """
 
 from __future__ import annotations
@@ -11,7 +12,7 @@ import numpy as np
 
 from ..grid import Topology
 
-__all__ = ["render_heatmap", "render_numeric_grid"]
+__all__ = ["render_heatmap", "render_link_heatmap", "render_numeric_grid"]
 
 _SHADES = " ▁▂▃▄▅▆▇█"
 
@@ -44,6 +45,60 @@ def render_heatmap(values, topology: Topology, title: str | None = None) -> str:
             )
             shades = "".join(_SHADES[i] for i in idx)
         lines.append("|" + shades + "|")
+    return "\n".join(lines)
+
+
+def render_link_heatmap(
+    link_traffic, topology: Topology, title: str | None = None
+) -> str:
+    """Render per-link volumes as shades *between* processor cells.
+
+    ``link_traffic`` maps directed ``(src_pid, dst_pid)`` links to
+    volumes; both directions of a wire are combined.  Processors sit on
+    a ``(2R-1) x (2C-1)`` canvas as ``·`` with the shade of each
+    mesh wire drawn between its endpoints.  Links between non-adjacent
+    cells (torus wrap-around wires) cannot be drawn in the plane; they
+    are summarized in a footer instead of silently dropped.
+    """
+    if len(topology.shape) == 1:
+        rows, cols = 1, topology.shape[0]
+    elif len(topology.shape) == 2:
+        rows, cols = topology.shape
+    else:
+        raise ValueError("link heatmaps support 1-D and 2-D topologies")
+
+    combined: dict[tuple[int, int], float] = {}
+    for (src, dst), volume in link_traffic.items():
+        wire = (src, dst) if src <= dst else (dst, src)
+        combined[wire] = combined.get(wire, 0.0) + float(volume)
+
+    canvas = [
+        [" "] * (2 * cols - 1) for _ in range(2 * rows - 1)
+    ]
+    for r in range(rows):
+        for c in range(cols):
+            canvas[2 * r][2 * c] = "·"
+
+    peak = max(combined.values(), default=0.0)
+    undrawn = 0
+    for (src, dst), volume in combined.items():
+        sr, sc = divmod(src, cols)
+        dr, dc = divmod(dst, cols)
+        if abs(sr - dr) + abs(sc - dc) != 1:
+            undrawn += 1
+            continue
+        shade = (
+            _SHADES[0]
+            if peak <= 0
+            else _SHADES[
+                min(int(volume / peak * (len(_SHADES) - 1)), len(_SHADES) - 1)
+            ]
+        )
+        canvas[sr + dr][sc + dc] = shade
+    lines = [] if title is None else [title]
+    lines += ["|" + "".join(row) + "|" for row in canvas]
+    if undrawn:
+        lines.append(f"({undrawn} non-planar links not drawn)")
     return "\n".join(lines)
 
 

@@ -104,6 +104,7 @@ def profile_suite(
     seed: int = 1998,
     replay: bool = True,
     instrument: Instrumentation | None = None,
+    spatial: bool = False,
 ) -> ProfileResult:
     """Run an instrumented profile and return the recorded session.
 
@@ -125,10 +126,16 @@ def profile_suite(
         Recording session to append to.  ``None`` joins the active
         session (installed by the CLI's ``--metrics`` flag) when one is
         recording, else starts a fresh one.
+    spatial:
+        Record per-link/per-processor spatial telemetry during replays
+        (``repro profile --spatial``).  Applied to whichever session is
+        used, including a joined active one.
     """
     if instrument is None:
         instrument = active() if active().enabled else Instrumentation.started()
     instr = instrument
+    if spatial and instr.enabled:
+        instr.spatial.recording = True
     result = ProfileResult(instrument=instr)
     topology = Mesh2D(*mesh)
     schedulers = tuple(schedulers)

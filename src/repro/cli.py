@@ -10,8 +10,11 @@ Usage::
     python -m repro faults [--node-rate 0.2] [--fail-node 5] [--sweep]
     python -m repro lint [--bench 1 --size 8 | --schedule s.npz] \
         [--trace t.npz] [--faults plan.json] [--format human|json|sarif]
-    python -m repro profile [--workload suite|lu|fft|...] \
+    python -m repro profile [--workload suite|lu|fft|...] [--spatial] \
         [--format summary|jsonl|chrome] [--output trace.json]
+    python -m repro heatmap [--bench 1 --size 16] [--scheduler GOMCDS]
+    python -m repro bench-compare [--baseline BENCH_schedulers.json] \
+        [--time-tolerance-pct 50] [--format human|json]
 
 Every subcommand additionally accepts ``--metrics PATH``: the run is
 executed under a recording instrumentation session and the collected
@@ -22,8 +25,9 @@ Exit codes are deterministic: ``0`` on success, ``2`` on a configuration
 error (bad arguments, a fault plan that does not fit the machine, an
 infeasible capacity), ``3`` when a fault replay leaves references
 unreachable or data stranded (degradation exceeded what recovery could
-absorb).  ``lint`` follows the linter convention instead: ``0`` clean,
-``1`` warnings only, ``2`` errors (see ``docs/lint.md``).
+absorb).  ``lint``, ``heatmap`` and ``bench-compare`` follow the linter
+convention instead: ``0`` clean, ``1`` warnings only, ``2`` errors (see
+``docs/lint.md`` / ``docs/observability.md``).
 """
 
 from __future__ import annotations
@@ -145,6 +149,8 @@ def main(argv: list[str] | None = None) -> int:
     _add_faults_parser(add_parser)
     _add_lint_parser(add_parser)
     _add_profile_parser(add_parser)
+    _add_heatmap_parser(add_parser)
+    _add_bench_compare_parser(add_parser)
     args = parser.parse_args(argv)
 
     try:
@@ -319,6 +325,11 @@ def _add_profile_parser(add_parser) -> None:
         help="skip the hop-level replay (schedulers only)",
     )
     parser.add_argument(
+        "--spatial", action="store_true",
+        help="record per-link/per-processor spatial telemetry during "
+        "replays (heatmaps + congestion analytics in the export)",
+    )
+    parser.add_argument(
         "--format", choices=("summary", "jsonl", "chrome"), default="summary",
         dest="fmt", help="export format (chrome = trace-event JSON for "
         "chrome://tracing / Perfetto)",
@@ -326,6 +337,76 @@ def _add_profile_parser(add_parser) -> None:
     parser.add_argument(
         "--output", metavar="PATH", default=None,
         help="write the export to a file instead of stdout",
+    )
+
+
+def _add_heatmap_parser(add_parser) -> None:
+    parser = add_parser(
+        "heatmap",
+        help="spatial telemetry of one replayed schedule: processor/link "
+        "ASCII heatmaps + congestion diagnostics (docs/observability.md); "
+        "exits 0 clean / 1 warnings / 2 errors",
+    )
+    parser.add_argument("--bench", type=int, default=1, help="paper benchmark id")
+    parser.add_argument("--size", type=int, default=16, help="matrix size n")
+    parser.add_argument(
+        "--mesh", type=int, nargs=2, default=[4, 4], metavar=("ROWS", "COLS")
+    )
+    parser.add_argument("--scheduler", default="GOMCDS")
+    parser.add_argument("--seed", type=int, default=1998)
+    parser.add_argument(
+        "--capacity-multiplier", type=float, default=2.0,
+        help="paper-rule capacity sizing",
+    )
+    parser.add_argument(
+        "--top-k", type=int, default=5, help="hot links listed in the report"
+    )
+    parser.add_argument(
+        "--hotspot-factor", type=float, default=4.0,
+        help="OBS001 fires for links loaded this many times the mean",
+    )
+    parser.add_argument(
+        "--gini-threshold", type=float, default=0.6,
+        help="OBS002 fires when link-load gini exceeds this",
+    )
+
+
+def _add_bench_compare_parser(add_parser) -> None:
+    parser = add_parser(
+        "bench-compare",
+        help="regression sentinel: diff a fresh bench run against the "
+        "tracked baseline (costs exact, timings within tolerance); "
+        "exits 0 clean / 1 warnings / 2 errors",
+    )
+    parser.add_argument(
+        "--baseline", metavar="PATH", default="BENCH_schedulers.json",
+        help="tracked baseline report (benchmarks/bench_profile.py output)",
+    )
+    parser.add_argument(
+        "--fresh", metavar="PATH", default=None,
+        help="pre-recorded fresh report; omitted = re-run the suite now "
+        "at the baseline's config",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=None,
+        help="timing repeats for the fresh run (default: baseline's)",
+    )
+    parser.add_argument(
+        "--time-tolerance-pct", type=float, default=50.0,
+        help="REG002 fires when a timing exceeds baseline by more than "
+        "this percentage (and the absolute floor)",
+    )
+    parser.add_argument(
+        "--min-time-delta", type=float, default=0.05, metavar="SECONDS",
+        help="absolute slowdown floor below which timings never regress",
+    )
+    parser.add_argument(
+        "--format", choices=("human", "json"), default="human",
+        dest="fmt", help="report format",
+    )
+    parser.add_argument(
+        "--output", metavar="PATH", default=None,
+        help="write the report to a file instead of stdout",
     )
 
 
@@ -345,6 +426,7 @@ def _run_profile(args) -> int:
         capacity_multiplier=args.capacity_multiplier,
         seed=args.seed,
         replay=not args.no_replay,
+        spatial=args.spatial,
     )
     text = write_export(
         result.instrument, args.fmt, args.output, results=result.results
@@ -356,6 +438,98 @@ def _run_profile(args) -> int:
     else:
         print(text)
     return EXIT_OK
+
+
+def _run_heatmap(args) -> int:
+    from .analysis import render_heatmap, render_link_heatmap
+    from .core import CostModel, scheduler_spec
+    from .grid import Mesh2D
+    from .mem import CapacityPlan
+    from .obs import Instrumentation, analyze_spatial
+    from .sim import replay_schedule
+    from .workloads import benchmark as make_benchmark
+
+    topology = Mesh2D(*args.mesh)
+    workload = make_benchmark(args.bench, args.size, topology, seed=args.seed)
+    tensor = workload.reference_tensor()
+    model = CostModel(topology)
+    capacity = CapacityPlan.paper_rule(
+        workload.n_data, topology.n_procs, args.capacity_multiplier
+    )
+    spec = scheduler_spec(args.scheduler.upper())
+    sched = spec(tensor, model, capacity)
+    instr = Instrumentation.started(spatial=True)
+    replay_schedule(
+        workload.trace, sched, model, capacity=capacity, instrument=instr
+    )
+    trace = instr.spatial.traces[-1]
+    report = analyze_spatial(
+        trace,
+        hotspot_factor=args.hotspot_factor,
+        gini_threshold=args.gini_threshold,
+        top_k=args.top_k,
+    )
+    print(
+        f"Spatial telemetry (benchmark {args.bench}, {args.size}x{args.size}, "
+        f"{args.mesh[0]}x{args.mesh[1]} array, scheduler {spec.name})"
+    )
+    print(trace.summary())
+    traffic = trace.per_proc_send() + trace.per_proc_recv()
+    print(render_heatmap(traffic, topology, title="processor traffic (send+recv):"))
+    print(
+        render_heatmap(
+            trace.per_proc_peak_storage(), topology, title="peak storage:"
+        )
+    )
+    print(render_link_heatmap(trace.link_totals(), topology, title="link load:"))
+    print(report.render())
+    return report.exit_code
+
+
+def _run_bench_compare(args) -> int:
+    import json
+
+    from .analysis import (
+        compare_bench_reports,
+        load_bench_report,
+        run_bench_suite,
+    )
+
+    baseline = load_bench_report(args.baseline)
+    if args.fresh is not None:
+        fresh = load_bench_report(args.fresh)
+        fresh_label = str(args.fresh)
+    else:
+        cfg = baseline["config"]
+        fresh = run_bench_suite(
+            mesh=tuple(cfg["mesh"]),
+            size=cfg["size"],
+            benchmarks=tuple(cfg["benchmarks"]),
+            repeats=args.repeats if args.repeats is not None else cfg["repeats"],
+            seed=cfg["seed"],
+        )
+        fresh_label = "fresh run"
+    comparison = compare_bench_reports(
+        baseline,
+        fresh,
+        time_tolerance_pct=args.time_tolerance_pct,
+        min_time_delta_s=args.min_time_delta,
+        baseline_label=str(args.baseline),
+        fresh_label=fresh_label,
+    )
+    text = (
+        comparison.render()
+        if args.fmt == "human"
+        else json.dumps(comparison.to_dict(), indent=2, sort_keys=True)
+    )
+    if args.output:
+        from pathlib import Path
+
+        Path(args.output).write_text(text + "\n")
+        print(comparison.summary())
+    else:
+        print(text)
+    return comparison.exit_code
 
 
 def _run_lint(args) -> int:
@@ -533,6 +707,10 @@ def _dispatch(args) -> int:
         return _run_lint(args)
     if args.command == "profile":
         return _run_profile(args)
+    if args.command == "heatmap":
+        return _run_heatmap(args)
+    if args.command == "bench-compare":
+        return _run_bench_compare(args)
     if args.command in ("table1", "table2"):
         sizes = tuple(args.sizes if not args.fast else [8, 16])
         runner = run_table1 if args.command == "table1" else run_table2

@@ -48,6 +48,14 @@ __all__ = [
     "THY001",
     "THY002",
     "ALL_CODES",
+    # dynamic observability codes (not lint rules)
+    "OBS001",
+    "OBS002",
+    # benchmark regression-sentinel codes (not lint rules)
+    "REG001",
+    "REG002",
+    "REG003",
+    "DYNAMIC_CODES",
 ]
 
 # Residency: a datum must have exactly one valid center per window (Def. 3).
@@ -89,6 +97,8 @@ THY001 = "THY001"
 # Placement-cost row is not separable convex (Lemma 1 precondition).
 THY002 = "THY002"
 
+#: The static lint-rule universe: every code here has a registered rule
+#: in :mod:`repro.lint` (asserted by the lint test-suite).
 ALL_CODES = (
     SCH001, SCH002, SCH003, SCH004,
     TRC001, TRC002, TRC003,
@@ -96,6 +106,28 @@ ALL_CODES = (
     CST001, CST002,
     THY001, THY002,
 )
+
+# -- dynamic codes: emitted by runtime analyzers, not by lint rules ---------
+
+# Saturated link: one directed mesh link carries a disproportionate share
+# of the replayed traffic (hotspot factor above threshold).
+OBS001 = "OBS001"
+# Link-load imbalance: the Gini coefficient of per-link traffic exceeds
+# the configured threshold (traffic concentrates on few wires).
+OBS002 = "OBS002"
+
+# Benchmark cost regression: a seeded scheduler cost diverged from the
+# tracked baseline (costs are deterministic, so any delta is a real change).
+REG001 = "REG001"
+# Benchmark timing regression beyond the configured noise tolerance.
+REG002 = "REG002"
+# Baseline and fresh benchmark reports are not comparable (config drift,
+# missing rows) — the sentinel cannot vouch for anything.
+REG003 = "REG003"
+
+#: Codes produced by dynamic analyzers (`repro.obs.spatial`,
+#: `repro.analysis.regression`); catalogued in ``docs/observability.md``.
+DYNAMIC_CODES = (OBS001, OBS002, REG001, REG002, REG003)
 
 
 class Severity(enum.IntEnum):

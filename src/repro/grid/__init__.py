@@ -3,7 +3,7 @@
 from .distance import cached_distance_matrix, eccentricity, pairwise_distances
 from .extended_topologies import Mesh3D, WeightedMesh2D
 from .fault_routing import FaultAwareRouter, mesh_links, structural_neighbors
-from .routing import Link, XYRouter
+from .routing import Link, XYRouter, link_key, parse_link_key
 from .topology import Mesh1D, Mesh2D, Topology, Torus2D
 
 __all__ = [
@@ -18,6 +18,8 @@ __all__ = [
     "mesh_links",
     "structural_neighbors",
     "Link",
+    "link_key",
+    "parse_link_key",
     "cached_distance_matrix",
     "pairwise_distances",
     "eccentricity",

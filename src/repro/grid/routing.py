@@ -18,10 +18,60 @@ from dataclasses import dataclass
 from .extended_topologies import Mesh3D, WeightedMesh2D
 from .topology import Mesh1D, Mesh2D, Topology, Torus2D
 
-__all__ = ["Link", "XYRouter"]
+__all__ = ["Link", "XYRouter", "link_key", "parse_link_key"]
 
 Link = tuple[int, int]
 """A directed mesh link ``(from_pid, to_pid)`` between adjacent processors."""
+
+
+def _unravel(pid: int, shape: tuple[int, ...]) -> tuple[int, ...]:
+    coords = []
+    for extent in reversed(shape):
+        coords.append(pid % extent)
+        pid //= extent
+    return tuple(reversed(coords))
+
+
+def _ravel(coords: tuple[int, ...], shape: tuple[int, ...]) -> int:
+    pid = 0
+    for c, extent in zip(coords, shape):
+        if not 0 <= c < extent:
+            raise ValueError(f"coordinate {coords} outside grid {shape}")
+        pid = pid * extent + c
+    return pid
+
+
+def link_key(link: Link, shape: tuple[int, ...] | None = None) -> str:
+    """Stable string form of a directed link, used for JSON serialization.
+
+    With a grid ``shape`` the endpoints render as row-major coordinates
+    (``"0,1->0,2"`` on a 2-D mesh, matching the paper's ``(r, c)``
+    notation); without one they fall back to flat pids (``"1->2"``).
+    """
+    src, dst = int(link[0]), int(link[1])
+    if shape is None:
+        return f"{src}->{dst}"
+    a = ",".join(str(c) for c in _unravel(src, shape))
+    b = ",".join(str(c) for c in _unravel(dst, shape))
+    return f"{a}->{b}"
+
+
+def parse_link_key(key: str, shape: tuple[int, ...] | None = None) -> Link:
+    """Inverse of :func:`link_key`: ``"0,1->0,2"`` back to ``(pid, pid)``."""
+    try:
+        a, b = key.split("->")
+        ends = []
+        for part in (a, b):
+            coords = tuple(int(c) for c in part.split(","))
+            if len(coords) == 1 and shape is None:
+                ends.append(coords[0])
+            else:
+                if shape is None:
+                    raise ValueError
+                ends.append(_ravel(coords, shape))
+    except ValueError:
+        raise ValueError(f"malformed link key {key!r}") from None
+    return (ends[0], ends[1])
 
 
 def _step_toward(coord: int, target: int, extent: int, wrap: bool) -> int:

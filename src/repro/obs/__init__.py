@@ -23,6 +23,16 @@ from .metrics import (
     MetricsRegistry,
     NullMetricsRegistry,
 )
+from .spatial import (
+    NULL_SPATIAL_STORE,
+    NullSpatialStore,
+    SpatialRecorder,
+    SpatialReport,
+    SpatialStore,
+    SpatialTrace,
+    analyze_spatial,
+    gini_coefficient,
+)
 from .tracer import NULL_SPAN, NullTracer, Span, Tracer
 from .export import (
     EXPORT_FORMATS,
@@ -48,6 +58,14 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "NullMetricsRegistry",
+    "SpatialTrace",
+    "SpatialRecorder",
+    "SpatialStore",
+    "NullSpatialStore",
+    "NULL_SPATIAL_STORE",
+    "SpatialReport",
+    "analyze_spatial",
+    "gini_coefficient",
     "render_summary",
     "to_jsonl",
     "chrome_trace",

@@ -16,14 +16,22 @@ unified ``to_dict()`` / ``summary()`` protocol shared by
 :class:`~repro.core.CostBreakdown`, :class:`~repro.sim.SimReport` and
 :class:`~repro.lint.LintReport` — and embed them alongside spans and
 metrics, so a profile run carries its answers next to its timings.
+
+Sessions that recorded spatial telemetry (``repro.obs.spatial``)
+additionally export it in every format: ASCII heatmaps + congestion
+analytics in the summary, ``{"type": "spatial"}`` records in JSON-lines,
+and per-link ``ph:"C"`` counter tracks in the Chrome trace.
 """
 
 from __future__ import annotations
 
 import json
+from dataclasses import dataclass
 from pathlib import Path
 
+from ..grid import link_key
 from .instrument import Instrumentation
+from .spatial import analyze_spatial
 
 __all__ = [
     "render_summary",
@@ -35,6 +43,19 @@ __all__ = [
 ]
 
 EXPORT_FORMATS = ("summary", "jsonl", "chrome")
+
+#: Chrome counter tracks are emitted for at most this many links per
+#: spatial trace (heaviest first); the cap is recorded in ``otherData``.
+CHROME_LINK_SERIES_CAP = 32
+
+
+@dataclass(frozen=True)
+class _Grid:
+    """Duck-typed stand-in for a topology: exactly what the ASCII heatmap
+    renderers read (``shape`` + ``n_procs``), rebuilt from a trace."""
+
+    shape: tuple[int, ...]
+    n_procs: int
 
 
 def _jsonable(value):
@@ -88,19 +109,52 @@ def render_summary(instrument: Instrumentation, results=()) -> str:
                 )
                 if "max" in rec:
                     detail += (
-                        f" p50={_fmt(rec['p50'])} p95={_fmt(rec['p95'])} "
-                        f"max={_fmt(rec['max'])}"
+                        f" p50={_fmt(rec['p50'])} p90={_fmt(rec['p90'])} "
+                        f"p99={_fmt(rec['p99'])} max={_fmt(rec['max'])}"
                     )
                 lines.append(f"  {rec['name']} ({rec['kind']}): {detail}")
             else:
                 lines.append(
                     f"  {rec['name']} ({rec['kind']}): {_fmt(rec['value'])}"
                 )
+    spatial_traces = instrument.spatial.traces
+    if spatial_traces:
+        lines.append("Spatial telemetry:")
+        for trace in spatial_traces:
+            lines.append(_render_spatial_section(trace))
     for result in results or ():
         lines.append(result.summary())
     if not lines:
         lines.append("(no spans or metrics recorded)")
     return "\n".join(lines)
+
+
+def _render_spatial_section(trace) -> str:
+    """Heatmaps + congestion analytics of one spatial trace, indented."""
+    # deferred import: repro.analysis pulls in repro.core, which imports
+    # repro.obs — at call time the cycle is long resolved
+    from ..analysis.heatmap import render_heatmap, render_link_heatmap
+
+    report = analyze_spatial(trace)
+    lines = [trace.summary()]
+    if len(trace.shape) <= 2:
+        grid = _Grid(shape=trace.shape, n_procs=trace.n_procs)
+        traffic = trace.per_proc_send() + trace.per_proc_recv()
+        lines.append(
+            render_heatmap(traffic, grid, title="processor traffic (send+recv):")
+        )
+        lines.append(
+            render_heatmap(
+                trace.per_proc_peak_storage(), grid, title="peak storage:"
+            )
+        )
+        lines.append(
+            render_link_heatmap(
+                trace.link_totals(), grid, title="link load:"
+            )
+        )
+    lines.append(report.render())
+    return "\n".join("  " + line for text in lines for line in text.splitlines())
 
 
 def _fmt(value) -> str:
@@ -119,6 +173,11 @@ def to_jsonl(instrument: Instrumentation, results=()) -> str:
     for metric in instrument.metrics.to_dicts():
         rec = {"type": metric["kind"]}
         rec.update(_jsonable({k: v for k, v in metric.items() if k != "kind"}))
+        records.append(rec)
+    for trace in instrument.spatial.traces:
+        rec = {"type": "spatial"}
+        rec.update(_jsonable(trace.to_dict()))
+        rec["analytics"] = _jsonable(analyze_spatial(trace).to_dict())
         records.append(rec)
     records.extend(_result_records(results))
     return "\n".join(json.dumps(rec, sort_keys=True) for rec in records)
@@ -172,6 +231,27 @@ def chrome_trace(instrument: Instrumentation, results=()) -> dict:
                     "args": {"value": value},
                 }
             )
+    capped_links = 0
+    for strace in instrument.spatial.traces:
+        totals = strace.link_totals()
+        ranked = sorted(totals, key=lambda link: (-totals[link], link))
+        capped_links += max(0, len(ranked) - CHROME_LINK_SERIES_CAP)
+        for link in ranked[:CHROME_LINK_SERIES_CAP]:
+            name = f"link {link_key(link, strace.shape)} [{strace.label}]"
+            for w, ts in enumerate(strace.window_ts):
+                last_ts = max(last_ts, ts)
+                events.append(
+                    {
+                        "name": name,
+                        "cat": "repro.spatial",
+                        "ph": "C",
+                        "ts": ts,
+                        "pid": 0,
+                        "args": {
+                            "volume": strace.window_links[w].get(link, 0.0)
+                        },
+                    }
+                )
     for record in _result_records(results):
         events.append(
             {
@@ -192,10 +272,13 @@ def chrome_trace(instrument: Instrumentation, results=()) -> dict:
     gauges = {
         name: gauge.value for name, gauge in instrument.metrics.gauges.items()
     }
+    other = {"counters": counters, "gauges": gauges}
+    if capped_links:
+        other["spatial_links_not_exported"] = capped_links
     return {
         "traceEvents": events,
         "displayTimeUnit": "ms",
-        "otherData": _jsonable({"counters": counters, "gauges": gauges}),
+        "otherData": _jsonable(other),
     }
 
 

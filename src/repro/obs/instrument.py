@@ -22,6 +22,7 @@ from contextlib import contextmanager
 from dataclasses import dataclass, field
 
 from .metrics import MetricsRegistry, NullMetricsRegistry
+from .spatial import NULL_SPATIAL_STORE, NullSpatialStore, SpatialStore
 from .tracer import NullTracer, Tracer
 
 __all__ = ["Instrumentation", "NOOP", "resolve", "instrumented", "active"]
@@ -29,18 +30,32 @@ __all__ = ["Instrumentation", "NOOP", "resolve", "instrumented", "active"]
 
 @dataclass
 class Instrumentation:
-    """One observability session: a span tracer plus a metrics registry."""
+    """One observability session: span tracer, metrics registry, and an
+    (opt-in) spatial-telemetry store."""
 
     tracer: Tracer | NullTracer = field(default_factory=Tracer)
     metrics: MetricsRegistry | NullMetricsRegistry = field(
         default_factory=MetricsRegistry
     )
+    spatial: SpatialStore | NullSpatialStore = field(
+        default_factory=SpatialStore
+    )
     enabled: bool = True
 
     @classmethod
-    def started(cls) -> "Instrumentation":
-        """A fresh, recording instrumentation session."""
-        return cls(tracer=Tracer(), metrics=MetricsRegistry(), enabled=True)
+    def started(cls, spatial: bool = False) -> "Instrumentation":
+        """A fresh, recording instrumentation session.
+
+        ``spatial=True`` additionally records per-link/per-processor
+        mesh telemetry during replays (routes every fetch hop-by-hop —
+        measurably slower, so it is a separate opt-in).
+        """
+        return cls(
+            tracer=Tracer(),
+            metrics=MetricsRegistry(),
+            spatial=SpatialStore(recording=spatial),
+            enabled=True,
+        )
 
     # -- probe helpers (what instrumented code actually calls) --------------
 
@@ -62,7 +77,10 @@ class Instrumentation:
 
 #: The zero-overhead default: records nothing, allocates nothing.
 NOOP = Instrumentation(
-    tracer=NullTracer(), metrics=NullMetricsRegistry(), enabled=False
+    tracer=NullTracer(),
+    metrics=NullMetricsRegistry(),
+    spatial=NULL_SPATIAL_STORE,
+    enabled=False,
 )
 
 _active: Instrumentation = NOOP

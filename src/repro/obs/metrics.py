@@ -118,7 +118,9 @@ class Histogram:
             out["min"] = float(min(self.samples))
             out["max"] = float(max(self.samples))
             out["p50"] = self.percentile(50)
+            out["p90"] = self.percentile(90)
             out["p95"] = self.percentile(95)
+            out["p99"] = self.percentile(99)
         return out
 
 

@@ -29,7 +29,9 @@ import numpy as np
 from ..core import CostModel, Schedule
 from ..faults import FaultInjector, FaultPlan
 from ..grid import XYRouter
+from ..obs import Instrumentation, resolve
 from ..trace import Trace
+from .replay import _spatial_recorder
 
 __all__ = ["NetworkReport", "simulate_window_traffic", "simulate_schedule_network"]
 
@@ -111,6 +113,7 @@ def simulate_schedule_network(
     schedule: Schedule,
     model: CostModel,
     faults: FaultPlan | None = None,
+    instrument: Instrumentation | None = None,
 ) -> NetworkReport:
     """Drain every window's fetch and movement traffic through the wires.
 
@@ -118,6 +121,11 @@ def simulate_schedule_network(
     severed links (detours lengthen drain times); transfers with a dead
     endpoint or no surviving route are counted as undeliverable instead
     of injected.  An empty plan is bit-identical to the fault-free path.
+
+    When the resolved ``instrument`` session records spatial telemetry,
+    the injected traffic is also recorded per link/per processor (label
+    ``network:<method>``); per-window drain times land as timestamped
+    histograms (``network.window_fetch_cycles`` / ``..._move_cycles``).
     """
     windows = schedule.windows
     if windows.n_steps != trace.n_steps:
@@ -125,6 +133,10 @@ def simulate_schedule_network(
     faulty = faults is not None and not faults.is_empty
     injector = (
         FaultInjector(faults, model.topology, windows.n_windows) if faulty else None
+    )
+    obs = resolve(instrument)
+    spatial, all_vols = _spatial_recorder(
+        obs, schedule, model, label=f"network:{schedule.method}"
     )
     plain_router = XYRouter(model.topology)
     n_windows = windows.n_windows
@@ -134,36 +146,58 @@ def simulate_schedule_network(
     n_undeliverable = 0
 
     event_windows = windows.assign(trace.steps)
-    for w in range(n_windows):
-        router = injector.router(w) if injector is not None else plain_router
-        mask = event_windows == w
-        transfers = []
-        for p, d, c in zip(
-            trace.procs[mask], trace.data[mask], trace.counts[mask]
-        ):
-            center = int(schedule.centers[d, w])
-            volume = int(round(c * model.volume(int(d))))
-            if center == int(p) or volume <= 0:
-                continue
-            if injector is not None and not router.reachable(center, int(p)):
-                n_undeliverable += volume
-                continue
-            transfers.append((center, int(p), volume))
-            total_packets += volume
-        fetch_cycles[w] = simulate_window_traffic(transfers, router)
-
-        if w > 0:
-            moves = []
-            prev, nxt = schedule.centers[:, w - 1], schedule.centers[:, w]
-            for d in np.nonzero(prev != nxt)[0]:
-                volume = int(round(model.volume(int(d))))
-                src, dst = int(prev[d]), int(nxt[d])
-                if injector is not None and not router.reachable(src, dst):
+    with obs.span(
+        "sim.network",
+        n_windows=n_windows,
+        method=schedule.method,
+        faults=faulty,
+    ):
+        for w in range(n_windows):
+            router = injector.router(w) if injector is not None else plain_router
+            mask = event_windows == w
+            transfers = []
+            for p, d, c in zip(
+                trace.procs[mask], trace.data[mask], trace.counts[mask]
+            ):
+                center = int(schedule.centers[d, w])
+                volume = int(round(c * model.volume(int(d))))
+                if center == int(p) or volume <= 0:
+                    continue
+                if injector is not None and not router.reachable(center, int(p)):
                     n_undeliverable += volume
                     continue
-                moves.append((src, dst, volume))
+                transfers.append((center, int(p), volume))
                 total_packets += volume
-            move_cycles[w] = simulate_window_traffic(moves, router)
+            fetch_cycles[w] = simulate_window_traffic(transfers, router)
+
+            moves = []
+            if w > 0:
+                prev, nxt = schedule.centers[:, w - 1], schedule.centers[:, w]
+                for d in np.nonzero(prev != nxt)[0]:
+                    volume = int(round(model.volume(int(d))))
+                    src, dst = int(prev[d]), int(nxt[d])
+                    if injector is not None and not router.reachable(src, dst):
+                        n_undeliverable += volume
+                        continue
+                    moves.append((src, dst, volume))
+                    total_packets += volume
+                move_cycles[w] = simulate_window_traffic(moves, router)
+
+            if spatial is not None:
+                for src, dst, volume in transfers + moves:
+                    links = router.links(src, dst)
+                    if links:
+                        spatial.record(w, links, float(volume))
+                spatial.close_window(
+                    w, obs.tracer.now_us(), schedule.centers[:, w], all_vols
+                )
+            if obs.enabled:
+                obs.observe("network.window_fetch_cycles", float(fetch_cycles[w]))
+                obs.observe("network.window_move_cycles", float(move_cycles[w]))
+        obs.count("network.packets", total_packets)
+        obs.count("network.undeliverable", n_undeliverable)
+    if spatial is not None:
+        obs.spatial.add(spatial.finish())
 
     return NetworkReport(
         fetch_cycles=fetch_cycles,

@@ -34,7 +34,7 @@ from ..core import CostModel, Schedule
 from ..faults import FaultInjector, FaultPlan, RetryPolicy, plan_evacuation
 from ..grid import FaultAwareRouter, XYRouter
 from ..mem import CapacityError, CapacityPlan
-from ..obs import Instrumentation, resolve
+from ..obs import Instrumentation, SpatialRecorder, resolve
 from ..trace import Trace
 from .machine import PIMArray, ResidencyError
 from .stats import SimReport
@@ -113,8 +113,15 @@ def replay_schedule(
     machine = PIMArray(model.topology, capacity)
     machine.load_initial(schedule.initial_placement())
     router = XYRouter(model.topology) if track_links else None
+    spatial, all_vols = _spatial_recorder(obs, schedule, model)
+    spatial_router = None
+    if spatial is not None:
+        spatial_router = router if router is not None else XYRouter(model.topology)
     dist = model.distances
-    report = SimReport(per_window_cost=np.zeros(windows.n_windows))
+    report = SimReport(
+        per_window_cost=np.zeros(windows.n_windows),
+        topology_shape=tuple(model.topology.shape),
+    )
 
     event_windows = windows.assign(trace.steps)
     order = np.argsort(event_windows, kind="stable")
@@ -131,7 +138,8 @@ def replay_schedule(
             with obs.span("sim.window", window=w) as window_span:
                 if w > 0:
                     _relocate_for_window(
-                        machine, schedule, model, w, report, router
+                        machine, schedule, model, w, report, router,
+                        spatial, spatial_router,
                     )
                 idx = order[boundaries[w] : boundaries[w + 1]]
                 procs = trace.procs[idx]
@@ -161,12 +169,19 @@ def replay_schedule(
                 report.per_window_cost[w] += float(hop_costs.sum())
                 report.n_fetches += int(len(idx))
                 report.n_local_fetches += int((centers == procs).sum())
-                if router is not None:
+                if router is not None or spatial is not None:
+                    link_router = router if router is not None else spatial_router
                     for c, p, volume in zip(centers, procs, counts * vols):
                         if c != p:
-                            report.add_link_traffic(
-                                router.links(int(c), int(p)), float(volume)
-                            )
+                            links = link_router.links(int(c), int(p))
+                            if router is not None:
+                                report.add_link_traffic(links, float(volume))
+                            if spatial is not None:
+                                spatial.record(w, links, float(volume))
+                if spatial is not None:
+                    spatial.close_window(
+                        w, obs.tracer.now_us(), machine.locations(), all_vols
+                    )
                 if obs.enabled:
                     hops = float((dist[centers, procs] * counts).sum())
                     obs.observe("sim.window_hops", hops)
@@ -183,8 +198,28 @@ def replay_schedule(
         obs.count("sim.local_fetches", report.n_local_fetches)
         obs.count("sim.moves", report.n_moves)
         obs.count("sim.movement_volume", report.movement_cost)
+    if spatial is not None:
+        obs.spatial.add(spatial.finish())
     report.n_delivered = report.n_fetches
     return report
+
+
+def _spatial_recorder(obs, schedule, model, label: str | None = None):
+    """A recorder (and per-datum volume vector) when the session asks for
+    spatial telemetry; ``(None, None)`` on every uninstrumented path."""
+    if not (obs.enabled and obs.spatial.recording):
+        return None, None
+    vols = (
+        np.ones(schedule.n_data)
+        if model.volumes is None
+        else np.asarray(model.volumes, dtype=np.float64)
+    )
+    recorder = SpatialRecorder(
+        model.topology,
+        schedule.windows.n_windows,
+        label=schedule.method if label is None else label,
+    )
+    return recorder, vols
 
 
 def _relocate_for_window(
@@ -194,6 +229,8 @@ def _relocate_for_window(
     w: int,
     report: SimReport,
     router: XYRouter | None,
+    spatial: SpatialRecorder | None = None,
+    spatial_router: XYRouter | None = None,
 ) -> None:
     """Perform all movements into window ``w`` and charge their cost."""
     prev_centers = schedule.centers[:, w - 1]
@@ -208,8 +245,13 @@ def _relocate_for_window(
         report.movement_cost += cost
         report.per_window_cost[w] += cost
         report.n_moves += 1
-        if router is not None:
-            report.add_link_traffic(router.links(src, dst), volume)
+        if router is not None or spatial is not None:
+            link_router = router if router is not None else spatial_router
+            links = link_router.links(src, dst)
+            if router is not None:
+                report.add_link_traffic(links, volume)
+            if spatial is not None:
+                spatial.record(w, links, volume)
 
 
 # ---------------------------------------------------------------------------
@@ -238,7 +280,11 @@ def _replay_with_faults(
     injector = FaultInjector(faults, model.topology, windows.n_windows)
     machine = PIMArray(model.topology, capacity)
     machine.load_initial(schedule.initial_placement())
-    report = SimReport(per_window_cost=np.zeros(windows.n_windows))
+    spatial, all_vols = _spatial_recorder(obs, schedule, model)
+    report = SimReport(
+        per_window_cost=np.zeros(windows.n_windows),
+        topology_shape=tuple(model.topology.shape),
+    )
 
     event_windows = windows.assign(trace.steps)
     order = np.argsort(event_windows, kind="stable")
@@ -261,7 +307,7 @@ def _replay_with_faults(
                     if evacuate:
                         _evacuate_nodes(
                             machine, schedule, model, injector, w, newly_down,
-                            report, track_links,
+                            report, track_links, spatial,
                         )
                     else:
                         for pid in newly_down:
@@ -270,7 +316,7 @@ def _replay_with_faults(
                 if w > 0:
                     _relocate_degraded(
                         machine, schedule, model, w, alive, router, report,
-                        track_links,
+                        track_links, spatial,
                     )
 
                 idx = order[boundaries[w] : boundaries[w + 1]]
@@ -291,7 +337,12 @@ def _replay_with_faults(
                         _record_unreachable(report, retry)
                         continue
                     _attempt_fetch(
-                        report, retry, injector, w, i, route, volume, track_links
+                        report, retry, injector, w, i, route, volume,
+                        track_links, spatial,
+                    )
+                if spatial is not None:
+                    spatial.close_window(
+                        w, obs.tracer.now_us(), machine.locations(), all_vols
                     )
                 if obs.enabled:
                     obs.observe(
@@ -316,6 +367,8 @@ def _replay_with_faults(
         obs.count("faults.evacuated", report.n_evacuated)
         obs.count("faults.lost", report.n_lost)
         obs.count("faults.skipped_moves", report.n_skipped_moves)
+    if spatial is not None:
+        obs.spatial.add(spatial.finish())
     return report
 
 
@@ -336,6 +389,7 @@ def _attempt_fetch(
     route: list[int],
     volume: float,
     track_links: bool,
+    spatial: SpatialRecorder | None = None,
 ) -> None:
     """Deliver one fetch over ``route``, retrying transient drops."""
     hops = len(route) - 1
@@ -350,6 +404,8 @@ def _attempt_fetch(
         if track_links:
             # the message occupies the wires whether or not it survives
             report.add_link_traffic(links, volume)
+        if spatial is not None:
+            spatial.record(window, links, volume)
         if not dropped:
             cost = hops * volume
             report.reference_cost += cost
@@ -372,6 +428,7 @@ def _evacuate_nodes(
     newly_down: frozenset[int],
     report: SimReport,
     track_links: bool,
+    spatial: SpatialRecorder | None = None,
 ) -> None:
     """Relocate every resident of the just-failed nodes to survivors.
 
@@ -403,8 +460,12 @@ def _evacuate_nodes(
         report.evacuation_cost += cost
         report.per_window_cost[w] += cost
         report.n_evacuated += 1
-        if track_links:
-            report.add_link_traffic(list(zip(route[:-1], route[1:])), volume)
+        if track_links or spatial is not None:
+            links = list(zip(route[:-1], route[1:]))
+            if track_links:
+                report.add_link_traffic(links, volume)
+            if spatial is not None:
+                spatial.record(w, links, volume)
 
 
 def _relocate_degraded(
@@ -416,6 +477,7 @@ def _relocate_degraded(
     router: FaultAwareRouter,
     report: SimReport,
     track_links: bool,
+    spatial: SpatialRecorder | None = None,
 ) -> None:
     """Scheduled movements into window ``w`` on a degraded array.
 
@@ -446,5 +508,9 @@ def _relocate_degraded(
         report.movement_cost += cost
         report.per_window_cost[w] += cost
         report.n_moves += 1
-        if track_links:
-            report.add_link_traffic(list(zip(route[:-1], route[1:])), volume)
+        if track_links or spatial is not None:
+            links = list(zip(route[:-1], route[1:]))
+            if track_links:
+                report.add_link_traffic(links, volume)
+            if spatial is not None:
+                spatial.record(w, links, volume)

@@ -7,7 +7,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..core.evaluate import CostBreakdown
-from ..grid import Link
+from ..grid import Link, link_key, parse_link_key
 
 __all__ = ["SimReport"]
 
@@ -37,6 +37,9 @@ class SimReport:
     n_moves: int = 0
     link_traffic: dict[Link, float] = field(default_factory=dict)
     per_window_cost: np.ndarray | None = None
+    #: grid extents of the replayed array (set by the replay driver);
+    #: lets link serialization use the paper's ``(r, c)`` coordinates
+    topology_shape: tuple[int, ...] | None = None
     # -- fault/degradation accounting (all zero in a fault-free replay) ------
     n_delivered: int = 0
     n_retries: int = 0
@@ -88,6 +91,28 @@ class SimReport:
         for link in links:
             self.link_traffic[link] = self.link_traffic.get(link, 0.0) + volume
 
+    def link_traffic_by_key(self) -> dict[str, float]:
+        """``link_traffic`` keyed by stable ``"r,c->r,c"`` strings.
+
+        JSON objects cannot key on tuples; this is the serialized form
+        used by :meth:`to_dict` (and hence the jsonl exporter).  Keys
+        sort by source/destination pid, so output is deterministic.
+        """
+        return {
+            link_key(link, self.topology_shape): float(volume)
+            for link, volume in sorted(self.link_traffic.items())
+        }
+
+    @staticmethod
+    def parse_link_traffic(
+        serialized: dict[str, float], shape: tuple[int, ...] | None = None
+    ) -> dict[Link, float]:
+        """Inverse of :meth:`link_traffic_by_key` (jsonl round-trips)."""
+        return {
+            parse_link_key(key, shape): float(volume)
+            for key, volume in serialized.items()
+        }
+
     # -- unified result protocol (shared with CostBreakdown / LintReport) ----
 
     def to_dict(self) -> dict:
@@ -114,6 +139,10 @@ class SimReport:
             "completion_rate": self.completion_rate,
             "max_link_load": self.max_link_load,
             "total_link_traffic": self.total_link_traffic,
+            "link_traffic": self.link_traffic_by_key(),
+            "topology_shape": (
+                None if self.topology_shape is None else list(self.topology_shape)
+            ),
             "per_window_cost": (
                 None
                 if self.per_window_cost is None

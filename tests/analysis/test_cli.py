@@ -156,3 +156,111 @@ def test_metrics_flag_composes_with_profile(tmp_path, capsys):
         r["type"] == "span" and r["name"] == "profile.instance"
         for r in records
     )
+
+
+def test_profile_spatial_flag_exports_telemetry(capsys):
+    out = run(
+        capsys,
+        "profile", "--benchmarks", "1", "--size", "8", "--spatial",
+    )
+    assert "Spatial telemetry:" in out
+    assert "link load:" in out
+    assert "congestion[GOMCDS]" in out
+
+
+def test_heatmap_command(capsys):
+    code = main(["heatmap", "--bench", "1", "--size", "8"])
+    out = capsys.readouterr().out
+    assert code in (0, 1)  # warnings allowed, errors are not
+    assert "Spatial telemetry (benchmark 1" in out
+    assert "processor traffic (send+recv):" in out
+    assert "peak storage:" in out
+    assert "link load:" in out
+    assert "congestion[GOMCDS]" in out
+
+
+def test_heatmap_thresholds_drive_exit_code(capsys):
+    # impossible hotspot factor + gini threshold 1.0: nothing can fire
+    assert (
+        main(
+            [
+                "heatmap", "--bench", "1", "--size", "8",
+                "--hotspot-factor", "1e9", "--gini-threshold", "1.0",
+            ]
+        )
+        == 0
+    )
+    # gini threshold 0 flags any nonuniform load as a warning
+    assert (
+        main(
+            [
+                "heatmap", "--bench", "1", "--size", "8",
+                "--hotspot-factor", "1e9", "--gini-threshold", "0.0",
+            ]
+        )
+        == 1
+    )
+    capsys.readouterr()
+
+
+def _bench_report_file(tmp_path, name="base.json", **overrides):
+    import json
+
+    from repro.analysis import run_bench_suite
+
+    report = run_bench_suite(size=8, benchmarks=(1,), repeats=1)
+    for key, value in overrides.items():
+        report["results"][0][key] = value
+    path = tmp_path / name
+    path.write_text(json.dumps(report))
+    return path, report
+
+
+def test_bench_compare_identical_files_exit_zero(tmp_path, capsys):
+    path, _ = _bench_report_file(tmp_path)
+    code = main(
+        [
+            "bench-compare", "--baseline", str(path), "--fresh", str(path),
+        ]
+    )
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "bench-compare: OK" in out
+
+
+def test_bench_compare_detects_injected_cost_regression(tmp_path, capsys):
+    base, report = _bench_report_file(tmp_path)
+    fresh, _ = _bench_report_file(
+        tmp_path, name="fresh.json",
+        gomcds_cost=report["results"][0]["gomcds_cost"] + 5.0,
+    )
+    code = main(
+        ["bench-compare", "--baseline", str(base), "--fresh", str(fresh)]
+    )
+    out = capsys.readouterr().out
+    assert code == 2
+    assert "REG001" in out
+
+
+def test_bench_compare_json_output(tmp_path, capsys):
+    import json
+
+    base, _ = _bench_report_file(tmp_path)
+    out_path = tmp_path / "cmp.json"
+    code = main(
+        [
+            "bench-compare", "--baseline", str(base), "--fresh", str(base),
+            "--format", "json", "--output", str(out_path),
+        ]
+    )
+    capsys.readouterr()
+    assert code == 0
+    payload = json.loads(out_path.read_text())
+    assert payload["kind"] == "bench_comparison"
+    assert payload["exit_code"] == 0
+
+
+def test_bench_compare_missing_baseline_is_config_error(capsys):
+    code = main(["bench-compare", "--baseline", "does/not/exist.json"])
+    capsys.readouterr()
+    assert code == EXIT_CONFIG_ERROR

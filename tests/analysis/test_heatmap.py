@@ -3,8 +3,8 @@
 import numpy as np
 import pytest
 
-from repro.analysis import render_heatmap, render_numeric_grid
-from repro.grid import Mesh1D, Torus2D
+from repro.analysis import render_heatmap, render_link_heatmap, render_numeric_grid
+from repro.grid import Mesh1D, Mesh2D, Torus2D
 
 
 def test_2d_shape(mesh44):
@@ -64,3 +64,42 @@ def test_numeric_grid_alignment(mesh44):
     out = render_numeric_grid(np.arange(16), mesh44, width=4)
     rows = out.splitlines()
     assert all(len(r) == 16 for r in rows)
+
+
+class TestLinkHeatmap:
+    def test_golden_2x2(self):
+        mesh22 = Mesh2D(2, 2)
+        traffic = {(0, 1): 3.0, (1, 0): 1.0, (0, 2): 8.0}
+        out = render_link_heatmap(traffic, mesh22, title="links")
+        # both directions of wire 0-1 combine to 4 (half shade); the
+        # vertical wire 0-2 carries the peak 8 (full shade)
+        assert out == "links\n|·▄·|\n|█  |\n|· ·|"
+
+    def test_canvas_dimensions(self, mesh44):
+        out = render_link_heatmap({(0, 1): 1.0}, mesh44)
+        lines = out.splitlines()
+        assert len(lines) == 7  # 2*4 - 1 rows
+        assert all(len(line) == 9 for line in lines)  # |(2*4-1)|
+
+    def test_empty_traffic_draws_blank_wires(self, mesh44):
+        out = render_link_heatmap({}, mesh44)
+        assert "█" not in out
+        assert out.count("·") == 16
+
+    def test_torus_wrap_links_reported_not_drawn(self):
+        torus = Torus2D(3, 3)
+        out = render_link_heatmap({(0, 2): 5.0, (0, 1): 5.0}, torus)
+        assert "(1 non-planar links not drawn)" in out
+        assert "█" in out  # the planar wire still renders
+
+    def test_1d_renders_single_row(self):
+        out = render_link_heatmap({(0, 1): 2.0}, Mesh1D(4))
+        assert len(out.splitlines()) == 1
+
+    def test_3d_topology_rejected(self):
+        class Fake:
+            n_procs = 8
+            shape = (2, 2, 2)
+
+        with pytest.raises(ValueError):
+            render_link_heatmap({}, Fake())

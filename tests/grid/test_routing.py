@@ -83,3 +83,31 @@ def test_rejects_unknown_topology():
 def test_rejects_bad_pids(router):
     with pytest.raises(ValueError):
         router.route(0, 99)
+
+
+class TestLinkKeys:
+    def test_coordinate_form_with_shape(self):
+        from repro.grid import link_key, parse_link_key
+
+        assert link_key((1, 2), (4, 4)) == "0,1->0,2"
+        assert parse_link_key("0,1->0,2", (4, 4)) == (1, 2)
+
+    def test_pid_form_without_shape(self):
+        from repro.grid import link_key, parse_link_key
+
+        assert link_key((3, 7)) == "3->7"
+        assert parse_link_key("3->7") == (3, 7)
+
+    def test_round_trip_all_mesh_links(self, mesh44):
+        from repro.grid import link_key, mesh_links, parse_link_key
+
+        shape = tuple(mesh44.shape)
+        for link in mesh_links(mesh44):
+            assert parse_link_key(link_key(link, shape), shape) == link
+
+    def test_malformed_keys_rejected(self):
+        from repro.grid import parse_link_key
+
+        for bad in ("nope", "1,2", "1,2->", "a,b->c,d"):
+            with pytest.raises(ValueError, match="malformed link key"):
+                parse_link_key(bad, (4, 4))

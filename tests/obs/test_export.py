@@ -100,3 +100,80 @@ def test_noop_session_exports_cleanly():
     # NOOP records nothing but still exports without error
     assert json.loads(render_chrome(NOOP))["traceEvents"][0]["ph"] == "M"
     assert to_jsonl(NOOP) == ""
+
+
+def spatial_session():
+    """A session holding one hand-built spatial trace."""
+    from repro.grid import Mesh2D
+    from repro.obs import SpatialRecorder
+
+    instr = Instrumentation.started(spatial=True)
+    rec = SpatialRecorder(Mesh2D(2, 2), n_windows=2, label="demo")
+    rec.record(0, [(0, 1)], 4.0)
+    rec.record(1, [(0, 2), (2, 3)], 2.0)
+    rec.close_window(0, 10.0, np.array([0, 1]), np.ones(2))
+    rec.close_window(1, 20.0, np.array([1, 1]), np.ones(2))
+    instr.spatial.add(rec.finish())
+    return instr
+
+
+def test_summary_renders_spatial_section():
+    text = render_summary(spatial_session())
+    assert "Spatial telemetry:" in text
+    assert "spatial[demo]" in text
+    assert "processor traffic (send+recv):" in text
+    assert "peak storage:" in text
+    assert "link load:" in text
+    assert "congestion[demo]" in text
+
+
+def test_jsonl_emits_spatial_records_with_analytics():
+    text = to_jsonl(spatial_session())
+    records = [json.loads(line) for line in text.splitlines()]
+    (spatial,) = [r for r in records if r["type"] == "spatial"]
+    assert spatial["label"] == "demo"
+    assert spatial["link_totals"] == {
+        "0,0->0,1": 4.0, "0,0->1,0": 2.0, "1,0->1,1": 2.0,
+    }
+    assert spatial["analytics"]["kind"] == "spatial_report"
+    assert spatial["analytics"]["max_link_load"] == 4.0
+
+
+def test_chrome_trace_emits_per_link_counter_series():
+    trace = json.loads(render_chrome(spatial_session()))
+    spatial = [
+        e for e in trace["traceEvents"] if e["cat"] == "repro.spatial"
+    ]
+    # 3 loaded links x 2 windows
+    assert len(spatial) == 6
+    assert all(e["ph"] == "C" for e in spatial)
+    series = {e["name"] for e in spatial}
+    assert "link 0,0->0,1 [demo]" in series
+    by_ts = sorted(
+        (e["ts"], e["args"]["volume"])
+        for e in spatial
+        if e["name"] == "link 0,0->0,1 [demo]"
+    )
+    assert by_ts == [(10.0, 4.0), (20.0, 0.0)]
+    assert "spatial_links_not_exported" not in trace["otherData"]
+
+
+def test_chrome_trace_caps_link_series():
+    from repro.grid import Mesh2D
+    from repro.obs import SpatialRecorder
+    from repro.obs.export import CHROME_LINK_SERIES_CAP
+
+    instr = Instrumentation.started(spatial=True)
+    rec = SpatialRecorder(Mesh2D(4, 4), n_windows=1, label="big")
+    for link in rec.links:  # load all 48 wires
+        rec.record(0, [link], 1.0)
+    rec.close_window(0, 1.0, np.zeros(1, dtype=int), np.zeros(1))
+    instr.spatial.add(rec.finish())
+    trace = chrome_trace(instr)
+    spatial = [
+        e for e in trace["traceEvents"] if e["cat"] == "repro.spatial"
+    ]
+    assert len(spatial) == CHROME_LINK_SERIES_CAP
+    assert trace["otherData"]["spatial_links_not_exported"] == (
+        48 - CHROME_LINK_SERIES_CAP
+    )

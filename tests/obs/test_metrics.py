@@ -77,3 +77,22 @@ def test_null_registry_swallows_everything():
     assert reg.to_dicts() == []
     # shared singletons, no per-call allocation
     assert reg.counter("x") is reg.counter("other")
+
+
+def test_histogram_percentile_summaries():
+    h = Histogram("lat")
+    for v in range(1, 101):  # 1..100
+        h.observe(float(v))
+    d = h.to_dict()
+    assert d["p50"] == 50.0
+    assert d["p90"] == 90.0
+    assert d["p95"] == 95.0
+    assert d["p99"] == 99.0
+    assert d["max"] == 100.0
+
+
+def test_single_sample_percentiles_collapse():
+    h = Histogram("one")
+    h.observe(7.0)
+    d = h.to_dict()
+    assert d["p50"] == d["p90"] == d["p99"] == d["max"] == 7.0
