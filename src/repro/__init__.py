@@ -42,25 +42,39 @@ from .core import (
     grouped_schedule,
     lomcds,
     reschedule_around_faults,
+    reschedule_from_window,
     scds,
     scheduler_spec,
 )
 from .api import schedule
 from .distrib import baseline_schedule
 from .obs import Instrumentation, instrumented
+from .analysis import run_chaos_campaign
 from .faults import (
     FaultConfigError,
+    FaultDetector,
     FaultInjector,
     FaultPlan,
     LinkFault,
     NodeFault,
+    RecoveryController,
+    RecoveryError,
+    RecoveryPolicy,
+    RecoveryReport,
     RetryPolicy,
+    replay_with_recovery,
 )
 from .diagnostics import Diagnostic, Severity
 from .grid import FaultAwareRouter, Mesh1D, Mesh2D, Torus2D, XYRouter
 from .lint import LintContext, LintReport, run_lint
 from .mem import CapacityError, CapacityPlan
-from .sim import PIMArray, ResidencyError, SimReport, replay_schedule
+from .sim import (
+    PIMArray,
+    ReplayCursor,
+    ResidencyError,
+    SimReport,
+    replay_schedule,
+)
 from .trace import (
     ReferenceTensor,
     Trace,
@@ -134,6 +148,16 @@ __all__ = [
     "RetryPolicy",
     "FaultAwareRouter",
     "reschedule_around_faults",
+    # online recovery & chaos campaign (docs/fault-model.md)
+    "FaultDetector",
+    "RecoveryPolicy",
+    "RecoveryError",
+    "RecoveryController",
+    "RecoveryReport",
+    "ReplayCursor",
+    "replay_with_recovery",
+    "reschedule_from_window",
+    "run_chaos_campaign",
     # static verifier (docs/lint.md)
     "Diagnostic",
     "Severity",

@@ -22,6 +22,7 @@ from .experiments import (
     run_table2,
 )
 from .export import rows_to_csv, table_to_csv
+from .chaos import ChaosReport, ChaosScenario, run_chaos_campaign
 from .faults import DEFAULT_FAULT_RATES, fault_sweep, run_fault_replay
 from .profiling import PROFILE_SCHEDULERS, ProfileResult, profile_suite
 from .heatmap import render_heatmap, render_link_heatmap, render_numeric_grid
@@ -60,6 +61,9 @@ __all__ = [
     "DEFAULT_FAULT_RATES",
     "fault_sweep",
     "run_fault_replay",
+    "ChaosReport",
+    "ChaosScenario",
+    "run_chaos_campaign",
     "ProfileResult",
     "profile_suite",
     "PROFILE_SCHEDULERS",

@@ -147,6 +147,7 @@ def main(argv: list[str] | None = None) -> int:
     add_parser("seeds", help="seed sensitivity of the improvements")
     add_parser("ablation-budget", help="movement-budget Pareto frontier (K)")
     _add_faults_parser(add_parser)
+    _add_chaos_parser(add_parser)
     _add_lint_parser(add_parser)
     _add_profile_parser(add_parser)
     _add_heatmap_parser(add_parser)
@@ -226,6 +227,92 @@ def _add_faults_parser(add_parser) -> None:
     )
 
 
+def _add_chaos_parser(add_parser) -> None:
+    parser = add_parser(
+        "chaos",
+        help="chaos campaign: seeded fault storms against the online-"
+        "recovery invariants (docs/fault-model.md); exits 0 clean / 3 on "
+        "an invariant violation",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=7, help="campaign seed (storms derive "
+        "from it deterministically)",
+    )
+    parser.add_argument(
+        "--scenarios", type=int, default=10, help="number of fault storms "
+        "(scenario 0 is always the fault-free control)",
+    )
+    parser.add_argument("--bench", type=int, default=1, help="paper benchmark id")
+    parser.add_argument("--size", type=int, default=8, help="matrix size n")
+    parser.add_argument(
+        "--mesh", type=int, nargs=2, default=[4, 4], metavar=("ROWS", "COLS")
+    )
+    parser.add_argument("--scheduler", default="GOMCDS")
+    parser.add_argument(
+        "--checkpoint-interval", type=int, default=2,
+        help="snapshot cadence (also the rollback-depth bound)",
+    )
+    parser.add_argument(
+        "--max-node-rate", type=float, default=0.3,
+        help="upper bound of the sampled per-node failure probability",
+    )
+    parser.add_argument(
+        "--max-drop-rate", type=float, default=0.1,
+        help="upper bound of the sampled transient-drop probability",
+    )
+    parser.add_argument(
+        "--workload-seed", type=int, default=1998, help="workload seed"
+    )
+    parser.add_argument(
+        "--format", choices=("human", "json"), default="human",
+        dest="fmt", help="report format",
+    )
+    parser.add_argument(
+        "--output", metavar="PATH", default=None,
+        help="write the report to a file (the chosen format) as well",
+    )
+
+
+def _run_chaos(args) -> int:
+    import json
+
+    from .analysis import run_chaos_campaign
+
+    report = run_chaos_campaign(
+        seed=args.seed,
+        n_scenarios=args.scenarios,
+        bench=args.bench,
+        size=args.size,
+        mesh=tuple(args.mesh),
+        scheduler=args.scheduler,
+        checkpoint_interval=args.checkpoint_interval,
+        max_node_rate=args.max_node_rate,
+        max_drop_rate=args.max_drop_rate,
+        workload_seed=args.workload_seed,
+    )
+    text = (
+        json.dumps(report.to_dict(), indent=2)
+        if args.fmt == "json"
+        else report.render()
+    )
+    if args.output:
+        from pathlib import Path
+
+        Path(args.output).write_text(
+            json.dumps(report.to_dict(), indent=2) + "\n"
+            if args.output.endswith(".json")
+            else text + "\n"
+        )
+    print(text)
+    if not report.ok:
+        print(
+            f"error: {len(report.violations)} recovery-invariant "
+            "violation(s); rerun with --seed "
+            f"{args.seed} to reproduce", file=sys.stderr,
+        )
+    return report.exit_code
+
+
 def _add_lint_parser(add_parser) -> None:
     parser = add_parser(
         "lint",
@@ -267,6 +354,16 @@ def _add_lint_parser(add_parser) -> None:
     parser.add_argument(
         "--windows", type=int, default=None,
         help="window horizon when linting a bare fault plan",
+    )
+    parser.add_argument(
+        "--recovery-mode", choices=("strict", "degrade", "replicate"),
+        default=None,
+        help="lint an online-recovery policy with this degradation mode "
+        "(enables the FLT007/FLT008 rules)",
+    )
+    parser.add_argument(
+        "--checkpoint-interval", type=int, default=4,
+        help="checkpoint cadence of the linted recovery policy (windows)",
     )
     parser.add_argument(
         "--format", choices=("human", "json", "sarif"), default="human",
@@ -584,6 +681,13 @@ def _run_lint(args) -> int:
             context.windows = window_per_step(args.windows)
     if args.no_capacity:
         context.capacity = None
+    if args.recovery_mode is not None:
+        from .faults import RecoveryPolicy
+
+        context.recovery = RecoveryPolicy(
+            mode=args.recovery_mode,
+            checkpoint_interval=args.checkpoint_interval,
+        )
 
     severities = {}
     for override in args.severity:
@@ -703,6 +807,8 @@ def _run_faults(args) -> int:
 def _dispatch(args) -> int:
     if args.command == "faults":
         return _run_faults(args)
+    if args.command == "chaos":
+        return _run_chaos(args)
     if args.command == "lint":
         return _run_lint(args)
     if args.command == "profile":

@@ -29,7 +29,11 @@ from .lomcds import lomcds
 from .online import omcds
 from .optimal import optimal_static_placement, static_lower_bound
 from .refine import RefineResult, refine_schedule
-from .reschedule import alive_window_mask, reschedule_around_faults
+from .reschedule import (
+    alive_window_mask,
+    reschedule_around_faults,
+    reschedule_from_window,
+)
 from .replication import (
     ReplicatedPlacement,
     evaluate_replicated,
@@ -71,6 +75,7 @@ __all__ = [
     "RefineResult",
     "refine_schedule",
     "reschedule_around_faults",
+    "reschedule_from_window",
     "alive_window_mask",
     "ReplicatedPlacement",
     "replicated_scds",

@@ -29,7 +29,11 @@ from .cost import CostModel
 from .gomcds import shortest_center_path
 from .schedule import Schedule
 
-__all__ = ["reschedule_around_faults", "alive_window_mask"]
+__all__ = [
+    "reschedule_around_faults",
+    "reschedule_from_window",
+    "alive_window_mask",
+]
 
 
 def alive_window_mask(
@@ -136,4 +140,123 @@ def reschedule_around_faults(
             windows=tensor.windows,
             method="GOMCDS+faults",
             meta={"n_node_faults": len(plan.node_faults)},
+        )
+
+
+def reschedule_from_window(
+    schedule: Schedule,
+    tensor: ReferenceTensor,
+    model: CostModel,
+    plan: FaultPlan,
+    from_window: int,
+    placement: np.ndarray | None = None,
+    capacity: CapacityPlan | None = None,
+    *,
+    instrument: Instrumentation | None = None,
+) -> Schedule:
+    """Re-plan only the windows ``from_window ..`` against a degraded array.
+
+    This is the incremental counterpart of :func:`reschedule_around_faults`
+    for online recovery: execution has already committed windows
+    ``0 .. from_window-1`` of ``schedule``, a fault was discovered, and the
+    run rewinds to the boundary of ``from_window``.  The prefix is history
+    — it is copied verbatim into the result — while the suffix is re-solved
+    with the same shortest-center-path DP, masked by the node failures in
+    ``plan``.
+
+    The suffix is *pinned* to the state at the rollback point: the DP's
+    first window pays the move cost from ``placement[d]`` (where datum
+    ``d`` actually resides after the rollback) to each candidate center,
+    so the recomputed plan charges honestly for relocating off its current
+    residency.  ``placement`` defaults to the old schedule's centers for
+    window ``from_window - 1`` (or its initial placement when rewinding to
+    window 0) — pass the simulator's live locations when evacuations have
+    moved data off-plan.
+
+    Raises :class:`~repro.mem.CapacityError` (code ``FLT004``) when some
+    suffix window has no admissible processor.
+    """
+    plan.validate_for(model.topology, tensor.n_windows)
+    n_data, n_windows = tensor.n_data, tensor.n_windows
+    n_procs = model.n_procs
+    if not 0 <= from_window < n_windows:
+        raise ValueError(
+            f"from_window must be in [0, {n_windows}), got {from_window}"
+        )
+    if schedule.n_data != n_data or schedule.n_windows != n_windows:
+        raise ValueError("schedule does not match the tensor's horizon")
+    if placement is None:
+        placement = (
+            schedule.initial_placement()
+            if from_window == 0
+            else schedule.centers[:, from_window - 1]
+        )
+    placement = np.asarray(placement, dtype=np.int64)
+    if placement.shape != (n_data,):
+        raise ValueError(
+            f"placement must have shape ({n_data},), got {placement.shape}"
+        )
+
+    obs = resolve(instrument)
+    n_suffix = n_windows - from_window
+    with obs.span(
+        "scheduler.reschedule_from_window",
+        from_window=from_window,
+        n_suffix=n_suffix,
+        n_node_faults=len(plan.node_faults),
+        constrained=capacity is not None,
+    ):
+        with obs.span("reschedule.alive_mask"):
+            alive = alive_window_mask(plan, n_windows, n_procs)[from_window:]
+        dead_windows = np.nonzero(~alive.any(axis=1))[0]
+        if len(dead_windows):
+            w_dead = from_window + int(dead_windows[0])
+            raise CapacityError(
+                f"window {w_dead} has no surviving processor; "
+                "the fault plan kills the whole array",
+                window=w_dead,
+                code=FLT004,
+            )
+        obs.gauge("reschedule.masked_cells", int((~alive).sum()))
+
+        with obs.span("reschedule.cost_tensor"):
+            costs = model.all_placement_costs(tensor)[:, from_window:, :]
+        dist = model.distances.astype(np.float64)
+        vols = (
+            np.ones(n_data)
+            if model.volumes is None
+            else np.asarray(model.volumes, dtype=np.float64)
+        )
+
+        tracker = None
+        if capacity is not None:
+            capacity.check_feasible(n_data)
+            tracker = OccupancyTracker(capacity, n_windows=n_suffix)
+
+        centers = schedule.centers.copy()
+        with obs.span("reschedule.capacity_walk"):
+            for d in tensor.data_priority_order():
+                window_costs = costs[d].copy()
+                # pin the suffix to the rollback residency: entering window
+                # ``from_window`` at center c costs the move from where the
+                # datum actually sits right now
+                window_costs[0] += vols[d] * dist[placement[d], :]
+                allowed = (
+                    alive if tracker is None else alive & tracker.available_mask()
+                )
+                path, _ = shortest_center_path(
+                    window_costs, vols[d] * dist, allowed=allowed
+                )
+                if tracker is not None:
+                    tracker.claim_path(path)
+                centers[d, from_window:] = path
+        return Schedule(
+            centers=centers,
+            windows=tensor.windows,
+            method="GOMCDS+recovery",
+            meta={
+                "from_window": from_window,
+                "n_node_faults": len(plan.node_faults),
+                "base_method": schedule.method,
+            },
         )

@@ -41,6 +41,8 @@ __all__ = [
     "FLT004",
     "FLT005",
     "FLT006",
+    "FLT007",
+    "FLT008",
     # cost-accounting codes
     "CST001",
     "CST002",
@@ -55,6 +57,11 @@ __all__ = [
     "REG001",
     "REG002",
     "REG003",
+    # chaos-campaign recovery-invariant codes (not lint rules)
+    "RCV001",
+    "RCV002",
+    "RCV003",
+    "RCV004",
     "DYNAMIC_CODES",
 ]
 
@@ -86,6 +93,10 @@ FLT004 = "FLT004"
 FLT005 = "FLT005"
 # Schedule places a datum on a node that is down during that window.
 FLT006 = "FLT006"
+# Recovery checkpoint interval out of range for the schedule's horizon.
+FLT007 = "FLT007"
+# Replicate recovery mode requested but the run carries no replica copies.
+FLT008 = "FLT008"
 
 # Analytic evaluator disagrees with the cost-graph formulation.
 CST001 = "CST001"
@@ -102,7 +113,7 @@ THY002 = "THY002"
 ALL_CODES = (
     SCH001, SCH002, SCH003, SCH004,
     TRC001, TRC002, TRC003,
-    FLT001, FLT002, FLT003, FLT004, FLT005, FLT006,
+    FLT001, FLT002, FLT003, FLT004, FLT005, FLT006, FLT007, FLT008,
     CST001, CST002,
     THY001, THY002,
 )
@@ -125,9 +136,26 @@ REG002 = "REG002"
 # missing rows) — the sentinel cannot vouch for anything.
 REG003 = "REG003"
 
+# Silent data loss: a recoverable chaos scenario lost or stranded datum
+# instances the recovery mode promised to preserve.
+RCV001 = "RCV001"
+# Checkpoint round-trip broken: restoring a snapshot and re-hashing the
+# state did not reproduce the checkpoint digest bit for bit.
+RCV002 = "RCV002"
+# Fault-free drift: a checkpointed replay of a healthy run diverged from
+# the monolithic fault-free replay (must be bit-identical).
+RCV003 = "RCV003"
+# Rollback overshoot: a recovery rewound further than one checkpoint
+# interval (the controller's bounded-rollback guarantee).
+RCV004 = "RCV004"
+
 #: Codes produced by dynamic analyzers (`repro.obs.spatial`,
-#: `repro.analysis.regression`); catalogued in ``docs/observability.md``.
-DYNAMIC_CODES = (OBS001, OBS002, REG001, REG002, REG003)
+#: `repro.analysis.regression`, `repro.analysis.chaos`); catalogued in
+#: ``docs/observability.md`` and ``docs/fault-model.md``.
+DYNAMIC_CODES = (
+    OBS001, OBS002, REG001, REG002, REG003,
+    RCV001, RCV002, RCV003, RCV004,
+)
 
 
 class Severity(enum.IntEnum):

@@ -11,6 +11,16 @@ dead node's residents (:func:`plan_evacuation`).  The replay simulator
 """
 
 from .injector import FaultInjector, RetryPolicy
+from .online import (
+    RECOVERY_MODES,
+    FaultDetector,
+    RecoveryController,
+    RecoveryError,
+    RecoveryEvent,
+    RecoveryPolicy,
+    RecoveryReport,
+    replay_with_recovery,
+)
 from .plan import FaultConfigError, FaultPlan, LinkFault, NodeFault
 from .recovery import Relocation, plan_evacuation
 
@@ -23,4 +33,12 @@ __all__ = [
     "RetryPolicy",
     "Relocation",
     "plan_evacuation",
+    "RECOVERY_MODES",
+    "FaultDetector",
+    "RecoveryPolicy",
+    "RecoveryError",
+    "RecoveryEvent",
+    "RecoveryReport",
+    "RecoveryController",
+    "replay_with_recovery",
 ]

@@ -26,7 +26,7 @@ from typing import Iterator
 
 import numpy as np
 
-from ..diagnostics import FLT001, FLT002, Diagnostic, Severity, code_message
+from ..diagnostics import FLT001, FLT002, FLT004, Diagnostic, Severity, code_message
 from ..grid import Link, Topology
 
 __all__ = ["FaultConfigError", "NodeFault", "LinkFault", "FaultPlan"]
@@ -46,8 +46,29 @@ def _check_window_range(start: int, end: int | None, what: str) -> None:
         )
 
 
+class _WindowedFault:
+    """Shared window-activation semantics of every structural fault.
+
+    Both fault kinds activate over the half-open range ``[start, end)``
+    with ``end=None`` meaning permanent.  Keeping the implementation in
+    one place guarantees :meth:`NodeFault.active_in` and
+    :meth:`LinkFault.active_in` can never drift apart (property-tested
+    against :meth:`FaultPlan.fault_epoch` membership in
+    ``tests/properties``).
+    """
+
+    start: int
+    end: int | None
+
+    def active_in(self, window: int) -> bool:
+        return self.start <= window and (self.end is None or window < self.end)
+
+    def _validate_window_range(self, what: str) -> None:
+        _check_window_range(self.start, self.end, what)
+
+
 @dataclass(frozen=True)
-class NodeFault:
+class NodeFault(_WindowedFault):
     """Processor ``pid`` is down for windows ``start <= w < end``."""
 
     pid: int
@@ -57,14 +78,11 @@ class NodeFault:
     def __post_init__(self) -> None:
         if self.pid < 0:
             raise FaultConfigError(f"node fault names a negative pid {self.pid}")
-        _check_window_range(self.start, self.end, f"node fault on pid {self.pid}")
-
-    def active_in(self, window: int) -> bool:
-        return self.start <= window and (self.end is None or window < self.end)
+        self._validate_window_range(f"node fault on pid {self.pid}")
 
 
 @dataclass(frozen=True)
-class LinkFault:
+class LinkFault(_WindowedFault):
     """Directed mesh link ``src -> dst`` is severed for ``start <= w < end``."""
 
     src: int
@@ -79,16 +97,11 @@ class LinkFault:
             )
         if self.src == self.dst:
             raise FaultConfigError(f"link fault {self.src} -> {self.dst} is a self-loop")
-        _check_window_range(
-            self.start, self.end, f"link fault {self.src} -> {self.dst}"
-        )
+        self._validate_window_range(f"link fault {self.src} -> {self.dst}")
 
     @property
     def link(self) -> Link:
         return (self.src, self.dst)
-
-    def active_in(self, window: int) -> bool:
-        return self.start <= window and (self.end is None or window < self.end)
 
 
 @dataclass(frozen=True)
@@ -295,19 +308,35 @@ class FaultPlan:
         seed: int = 0,
         min_survivors: int = 1,
         transient_fraction: float = 0.5,
+        max_down_fraction: float = 0.5,
     ) -> "FaultPlan":
         """Sample a plan: each node/link fails independently with the given
         rate, at a uniform activation window; a ``transient_fraction`` of
         the structural faults heal after a random number of windows.
 
         At least ``min_survivors`` processors are kept permanently alive so
-        the array never fails entirely (recovery would be meaningless).
+        the array never fails entirely (recovery would be meaningless), and
+        at most ``max_down_fraction`` of the array may carry a node fault —
+        without this cap a high ``node_rate`` could sample a plan that
+        kills every node in window 0, which no recovery strategy can
+        survive.  ``max_down_fraction`` outside ``(0, 1]`` raises a
+        ``[FLT004]``-coded :class:`FaultConfigError` (the whole-array-death
+        rule this guard exists to pre-empt).
         """
         if n_windows < 1:
             raise FaultConfigError("n_windows must be positive")
         if not 0 <= min_survivors <= topology.n_procs:
             raise FaultConfigError(
                 f"min_survivors must be in [0, {topology.n_procs}]"
+            )
+        if not 0.0 < max_down_fraction <= 1.0:
+            raise FaultConfigError(
+                code_message(
+                    FLT004,
+                    f"max_down_fraction must be in (0, 1], got "
+                    f"{max_down_fraction}; a plan may not be allowed to "
+                    "kill the whole array",
+                )
             )
         rng = np.random.default_rng(np.random.SeedSequence((seed, 0xFA117)))
         n = topology.n_procs
@@ -321,7 +350,7 @@ class FaultPlan:
 
         failing = [pid for pid in range(n) if rng.random() < node_rate]
         rng.shuffle(failing)
-        failing = failing[: max(0, n - min_survivors)]
+        failing = failing[: max(0, min(n - min_survivors, int(max_down_fraction * n)))]
         node_faults = []
         for pid in sorted(failing):
             start, end = windowed()

@@ -34,6 +34,11 @@ class LintContext:
     capacity: CapacityPlan | None = None
     faults: FaultPlan | None = None
     model: CostModel | None = None
+    #: online-recovery policy (``repro.faults.RecoveryPolicy``) under lint
+    recovery: object | None = None
+    #: replica placement (``repro.core.ReplicatedPlacement``) if the run
+    #: carries one; ``None`` means "no replicas" for FLT008
+    replicas: object | None = None
     _tensor: ReferenceTensor | None = field(default=None, repr=False)
 
     def __post_init__(self) -> None:

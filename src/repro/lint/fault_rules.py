@@ -21,6 +21,8 @@ from ..diagnostics import (
     FLT004,
     FLT005,
     FLT006,
+    FLT007,
+    FLT008,
     Diagnostic,
     Severity,
 )
@@ -177,3 +179,36 @@ def check_schedule_avoids_dead_nodes(context):
                 processor=int(centers[d, w]),
                 hint="recompute the schedule with reschedule_around_faults",
             )
+
+
+@rule(
+    FLT007,
+    "checkpoint interval out of range",
+    severity=Severity.ERROR,
+    requires=("recovery",),
+)
+def check_checkpoint_interval(context):
+    """The recovery policy's checkpoint cadence misfits the horizon.
+
+    Delegates to :meth:`RecoveryPolicy.config_violations`, the same
+    generator the :class:`~repro.faults.RecoveryController` runs at
+    construction, so lint and runtime report identical messages.
+    """
+    for diag in context.recovery.config_violations(n_windows=context.n_windows):
+        if diag.code == FLT007:
+            yield diag
+
+
+@rule(
+    FLT008,
+    "replicate mode without replicas",
+    severity=Severity.ERROR,
+    requires=("recovery",),
+)
+def check_replicate_has_replicas(context):
+    """Recovery mode ``replicate`` with no replica placement to fall back on."""
+    for diag in context.recovery.config_violations(
+        has_replicas=context.replicas is not None
+    ):
+        if diag.code == FLT008:
+            yield diag

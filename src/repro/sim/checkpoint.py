@@ -1,0 +1,261 @@
+"""Checkpointed, window-stepping replay: the substrate of online recovery.
+
+:func:`~repro.sim.replay_schedule` executes a whole schedule in one
+monolithic pass — fine when every fault is declared up front, useless
+when a fault is only *discovered* mid-run and execution must rewind.
+:class:`ReplayCursor` exposes the same replay one window at a time:
+
+* ``step()`` executes the next window through the *exact same* helpers
+  the monolithic driver uses (``_serve_window_plain`` on a healthy
+  array, ``_execute_faulted_window`` under a fault plan), so a cursor
+  run is accounting-identical to ``replay_schedule`` — bit for bit on
+  the fault-free path, asserted by the chaos harness;
+* ``snapshot()`` captures the full simulator state — machine residency,
+  memory load and every :class:`~repro.sim.SimReport` accumulator — as
+  an immutable :class:`Checkpoint` with a content digest;
+* ``restore()`` rewinds to a checkpoint; a restore followed by a
+  snapshot reproduces the digest exactly (the chaos campaign's
+  round-trip invariant);
+* ``rebind()`` swaps in a new schedule and/or fault plan mid-run, which
+  is how the :class:`~repro.faults.online.RecoveryController` resumes on
+  a rescheduled suffix after a rollback.
+
+The cursor deliberately records no spans of its own: the controller
+owns the observability story for online runs, and span emission must
+never influence the report (bit-identity again).
+"""
+
+from __future__ import annotations
+
+import copy
+import hashlib
+import json
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core import CostModel, Schedule
+from ..faults import FaultInjector, FaultPlan, RetryPolicy
+from ..grid import XYRouter
+from ..trace import Trace
+from .machine import PIMArray
+from .replay import (
+    _execute_faulted_window,
+    _relocate_for_window,
+    _serve_window_plain,
+)
+from .stats import SimReport
+
+__all__ = ["Checkpoint", "ReplayCursor"]
+
+
+@dataclass(frozen=True)
+class Checkpoint:
+    """Immutable snapshot of a replay at a window boundary.
+
+    ``window`` is the next window the restored cursor will execute; the
+    state is everything accumulated by windows ``0 .. window-1``.  The
+    ``digest`` is a content hash of residency + report, so rollback
+    fidelity is checkable without field-by-field comparison.
+    """
+
+    window: int
+    locations: np.ndarray
+    report: SimReport
+    digest: str
+
+    def to_dict(self) -> dict:
+        """Serializable record (diagnostic artifact, not a restore path)."""
+        return {
+            "kind": "checkpoint",
+            "window": self.window,
+            "locations": [int(p) for p in self.locations],
+            "digest": self.digest,
+            "report": self.report.to_dict(),
+        }
+
+
+def _state_digest(window: int, locations: np.ndarray, report: SimReport) -> str:
+    """Content hash of the complete replay state at a window boundary."""
+    h = hashlib.sha256()
+    h.update(str(window).encode())
+    h.update(np.ascontiguousarray(locations).tobytes())
+    h.update(json.dumps(report.to_dict(), sort_keys=True).encode())
+    return h.hexdigest()
+
+
+class ReplayCursor:
+    """Window-stepping replay of a schedule with snapshot/rollback.
+
+    Construction mirrors :func:`~repro.sim.replay_schedule`'s signature;
+    ``faults`` here is the plan the cursor *injects* (for online runs:
+    the faults discovered so far, not the full ground-truth plan).  An
+    empty plan takes the vectorized fault-free path; any non-empty plan
+    takes the degraded per-event path — the same dichotomy as the
+    monolithic driver.
+    """
+
+    def __init__(
+        self,
+        trace: Trace,
+        schedule: Schedule,
+        model: CostModel,
+        capacity=None,
+        faults: FaultPlan | None = None,
+        retry: RetryPolicy | None = None,
+        evacuate: bool = True,
+        track_links: bool = False,
+        on_unreachable=None,
+        on_stranded=None,
+    ) -> None:
+        windows = schedule.windows
+        if windows.n_steps != trace.n_steps:
+            raise ValueError("schedule windows do not span the trace")
+        if trace.n_data != schedule.n_data:
+            raise ValueError("schedule and trace disagree on n_data")
+        if trace.n_procs != model.n_procs:
+            raise ValueError("trace and cost model disagree on the array size")
+        self.trace = trace
+        self.model = model
+        self.capacity = capacity
+        self.retry = retry or RetryPolicy()
+        self.evacuate = evacuate
+        self.track_links = track_links
+        self.on_unreachable = on_unreachable
+        self.on_stranded = on_stranded
+        self.n_windows = windows.n_windows
+
+        self.machine = PIMArray(model.topology, capacity)
+        self.machine.load_initial(schedule.initial_placement())
+        self.report = SimReport(
+            per_window_cost=np.zeros(self.n_windows),
+            topology_shape=tuple(model.topology.shape),
+        )
+        event_windows = windows.assign(trace.steps)
+        self._order = np.argsort(event_windows, kind="stable")
+        self._boundaries = np.searchsorted(
+            event_windows[self._order], np.arange(self.n_windows + 1)
+        )
+        self.window = 0
+        self._plain_router = XYRouter(model.topology) if track_links else None
+        self.schedule = schedule
+        self.faults = FaultPlan()
+        self.injector: FaultInjector | None = None
+        self.rebind(schedule=schedule, faults=faults)
+
+    # -- binding -------------------------------------------------------------
+
+    def rebind(
+        self,
+        schedule: Schedule | None = None,
+        faults: FaultPlan | None = None,
+    ) -> None:
+        """Swap the schedule and/or injected fault plan mid-run.
+
+        The new schedule must cover the same trace/window horizon; past
+        windows are history and are never re-validated.  Passing a fault
+        plan replaces the injected set wholesale (the controller passes
+        the full known-so-far plan each time, so window epochs stay
+        consistent with ``newly_down`` accounting).
+        """
+        if schedule is not None:
+            if schedule.n_windows != self.n_windows:
+                raise ValueError("rebound schedule changes the window horizon")
+            if schedule.n_data != self.trace.n_data:
+                raise ValueError("rebound schedule changes the datum universe")
+            self.schedule = schedule
+        if faults is not None:
+            self.faults = faults
+            self.injector = (
+                None
+                if faults.is_empty
+                else FaultInjector(faults, self.model.topology, self.n_windows)
+            )
+
+    # -- execution -----------------------------------------------------------
+
+    @property
+    def done(self) -> bool:
+        return self.window >= self.n_windows
+
+    def window_events(self, w: int) -> np.ndarray:
+        """Trace-event indices served by window ``w``."""
+        return self._order[self._boundaries[w] : self._boundaries[w + 1]]
+
+    def step(self) -> None:
+        """Execute the next window and advance the cursor."""
+        if self.done:
+            raise RuntimeError("replay cursor already ran past the last window")
+        w = self.window
+        idx = self.window_events(w)
+        if self.injector is None:
+            if w > 0:
+                _relocate_for_window(
+                    self.machine, self.schedule, self.model, w, self.report,
+                    self._plain_router,
+                )
+            _serve_window_plain(
+                self.machine, self.schedule, self.trace, self.model, w, idx,
+                self.report, self._plain_router,
+            )
+            # a healthy array delivers everything; keeping the counter
+            # current per window (rather than once at finish) makes the
+            # accounting survive a mid-run rebind onto the degraded path
+            self.report.n_delivered = self.report.n_fetches
+        else:
+            _execute_faulted_window(
+                self.machine, self.schedule, self.trace, self.model, w, idx,
+                self.report, self.injector, self.retry, self.evacuate,
+                self.track_links,
+                on_unreachable=self.on_unreachable,
+                on_stranded=self.on_stranded,
+            )
+        self.window = w + 1
+
+    def run(self) -> SimReport:
+        """Step through every remaining window and finish."""
+        while not self.done:
+            self.step()
+        return self.finish()
+
+    def finish(self) -> SimReport:
+        """The completed report (call after the last window).
+
+        Mirrors :func:`replay_schedule`'s epilogue: a fault-free replay
+        delivers every fetch by construction, so ``n_delivered`` is set
+        wholesale there; the degraded path counted deliveries one by one.
+        """
+        if not self.done:
+            raise RuntimeError(
+                f"replay incomplete: {self.window}/{self.n_windows} windows"
+            )
+        if self.injector is None:
+            self.report.n_delivered = self.report.n_fetches
+        return self.report
+
+    # -- checkpointing -------------------------------------------------------
+
+    def snapshot(self) -> Checkpoint:
+        """Capture the full replay state at the current window boundary."""
+        locations = self.machine.locations()
+        report = copy.deepcopy(self.report)
+        return Checkpoint(
+            window=self.window,
+            locations=locations,
+            report=report,
+            digest=_state_digest(self.window, locations, self.report),
+        )
+
+    def restore(self, checkpoint: Checkpoint) -> None:
+        """Rewind to ``checkpoint``: residency, report and window index.
+
+        The checkpoint's own arrays stay untouched (copies are installed),
+        so one checkpoint can be restored any number of times.
+        """
+        self.machine.load_initial(checkpoint.locations)
+        self.report = copy.deepcopy(checkpoint.report)
+        self.window = checkpoint.window
+
+    def state_digest(self) -> str:
+        """Digest of the live state; equals ``snapshot().digest``."""
+        return _state_digest(self.window, self.machine.locations(), self.report)

@@ -117,7 +117,6 @@ def replay_schedule(
     spatial_router = None
     if spatial is not None:
         spatial_router = router if router is not None else XYRouter(model.topology)
-    dist = model.distances
     report = SimReport(
         per_window_cost=np.zeros(windows.n_windows),
         topology_shape=tuple(model.topology.shape),
@@ -142,55 +141,22 @@ def replay_schedule(
                         spatial, spatial_router,
                     )
                 idx = order[boundaries[w] : boundaries[w + 1]]
-                procs = trace.procs[idx]
-                data = trace.data[idx]
-                counts = trace.counts[idx]
-                centers = machine.locations()[data]
-                expected = schedule.centers[data, w]
-                diverged = np.nonzero(centers != expected)[0]
-                if len(diverged):
-                    i = int(diverged[0])
-                    raise ResidencyError(
-                        f"machine residency diverged from the schedule: datum "
-                        f"{int(data[i])} resides at {int(centers[i])}, "
-                        f"scheduled at {int(expected[i])}",
-                        datum=int(data[i]),
-                        claimed=int(expected[i]),
-                        actual=int(centers[i]),
-                        window=w,
-                    )
-                vols = (
-                    np.ones(len(idx))
-                    if model.volumes is None
-                    else np.asarray(model.volumes)[data]
+                n_local, hops = _serve_window_plain(
+                    machine, schedule, trace, model, w, idx, report,
+                    router, spatial, spatial_router, want_hops=obs.enabled,
                 )
-                hop_costs = dist[centers, procs] * counts * vols
-                report.reference_cost += float(hop_costs.sum())
-                report.per_window_cost[w] += float(hop_costs.sum())
-                report.n_fetches += int(len(idx))
-                report.n_local_fetches += int((centers == procs).sum())
-                if router is not None or spatial is not None:
-                    link_router = router if router is not None else spatial_router
-                    for c, p, volume in zip(centers, procs, counts * vols):
-                        if c != p:
-                            links = link_router.links(int(c), int(p))
-                            if router is not None:
-                                report.add_link_traffic(links, float(volume))
-                            if spatial is not None:
-                                spatial.record(w, links, float(volume))
                 if spatial is not None:
                     spatial.close_window(
                         w, obs.tracer.now_us(), machine.locations(), all_vols
                     )
                 if obs.enabled:
-                    hops = float((dist[centers, procs] * counts).sum())
                     obs.observe("sim.window_hops", hops)
                     obs.observe(
                         "sim.window_cost", float(report.per_window_cost[w])
                     )
                     window_span.set(
                         fetches=int(len(idx)),
-                        local=int((centers == procs).sum()),
+                        local=n_local,
                         hops=hops,
                         cost=float(report.per_window_cost[w]),
                     )
@@ -220,6 +186,71 @@ def _spatial_recorder(obs, schedule, model, label: str | None = None):
         label=schedule.method if label is None else label,
     )
     return recorder, vols
+
+
+def _serve_window_plain(
+    machine: PIMArray,
+    schedule: Schedule,
+    trace: Trace,
+    model: CostModel,
+    w: int,
+    idx: np.ndarray,
+    report: SimReport,
+    router: XYRouter | None = None,
+    spatial: SpatialRecorder | None = None,
+    spatial_router: XYRouter | None = None,
+    want_hops: bool = False,
+) -> tuple[int, float]:
+    """Serve window ``w``'s fetches on a healthy array (vectorized).
+
+    The single source of truth for fault-free fetch accounting: both
+    :func:`replay_schedule` and the checkpointing
+    :class:`~repro.sim.checkpoint.ReplayCursor` call it, which is what
+    makes a checkpointed fault-free replay bit-identical to the plain
+    path.  Returns ``(n_local, hops)``; ``hops`` is only computed when
+    ``want_hops`` (it exists for the observability probes and costs an
+    extra vector pass).
+    """
+    dist = model.distances
+    procs = trace.procs[idx]
+    data = trace.data[idx]
+    counts = trace.counts[idx]
+    centers = machine.locations()[data]
+    expected = schedule.centers[data, w]
+    diverged = np.nonzero(centers != expected)[0]
+    if len(diverged):
+        i = int(diverged[0])
+        raise ResidencyError(
+            f"machine residency diverged from the schedule: datum "
+            f"{int(data[i])} resides at {int(centers[i])}, "
+            f"scheduled at {int(expected[i])}",
+            datum=int(data[i]),
+            claimed=int(expected[i]),
+            actual=int(centers[i]),
+            window=w,
+        )
+    vols = (
+        np.ones(len(idx))
+        if model.volumes is None
+        else np.asarray(model.volumes)[data]
+    )
+    hop_costs = dist[centers, procs] * counts * vols
+    report.reference_cost += float(hop_costs.sum())
+    report.per_window_cost[w] += float(hop_costs.sum())
+    report.n_fetches += int(len(idx))
+    n_local = int((centers == procs).sum())
+    report.n_local_fetches += n_local
+    if router is not None or spatial is not None:
+        link_router = router if router is not None else spatial_router
+        for c, p, volume in zip(centers, procs, counts * vols):
+            if c != p:
+                links = link_router.links(int(c), int(p))
+                if router is not None:
+                    report.add_link_traffic(links, float(volume))
+                if spatial is not None:
+                    spatial.record(w, links, float(volume))
+    hops = float((dist[centers, procs] * counts).sum()) if want_hops else 0.0
+    return n_local, hops
 
 
 def _relocate_for_window(
@@ -299,47 +330,12 @@ def _replay_with_faults(
     ):
         for w in range(windows.n_windows):
             with obs.span("sim.window", window=w) as window_span:
-                router = injector.router(w)
-                alive = injector.alive_mask(w)
-
-                newly_down = injector.newly_down(w)
-                if newly_down:
-                    if evacuate:
-                        _evacuate_nodes(
-                            machine, schedule, model, injector, w, newly_down,
-                            report, track_links, spatial,
-                        )
-                    else:
-                        for pid in newly_down:
-                            report.n_lost += len(machine.residents(pid))
-
-                if w > 0:
-                    _relocate_degraded(
-                        machine, schedule, model, w, alive, router, report,
-                        track_links, spatial,
-                    )
-
                 idx = order[boundaries[w] : boundaries[w + 1]]
-                locations = machine.locations()
                 delivered_before = report.n_delivered
-                for i in idx:
-                    i = int(i)
-                    p = int(trace.procs[i])
-                    d = int(trace.data[i])
-                    volume = float(trace.counts[i]) * model.volume(d)
-                    center = int(locations[d])
-                    report.n_fetches += 1
-                    if not alive[p] or not alive[center]:
-                        _record_unreachable(report, retry)
-                        continue
-                    route = router.route(center, p)
-                    if route is None:
-                        _record_unreachable(report, retry)
-                        continue
-                    _attempt_fetch(
-                        report, retry, injector, w, i, route, volume,
-                        track_links, spatial,
-                    )
+                _execute_faulted_window(
+                    machine, schedule, trace, model, w, idx, report,
+                    injector, retry, evacuate, track_links, spatial,
+                )
                 if spatial is not None:
                     spatial.close_window(
                         w, obs.tracer.now_us(), machine.locations(), all_vols
@@ -370,6 +366,83 @@ def _replay_with_faults(
     if spatial is not None:
         obs.spatial.add(spatial.finish())
     return report
+
+
+def _execute_faulted_window(
+    machine: PIMArray,
+    schedule: Schedule,
+    trace: Trace,
+    model: CostModel,
+    w: int,
+    idx: np.ndarray,
+    report: SimReport,
+    injector: FaultInjector,
+    retry: RetryPolicy,
+    evacuate: bool,
+    track_links: bool,
+    spatial: SpatialRecorder | None = None,
+    on_unreachable=None,
+    on_stranded=None,
+) -> None:
+    """Execute one window of a degraded replay (evacuate, move, fetch).
+
+    Shared verbatim between :func:`_replay_with_faults` and the
+    checkpointing :class:`~repro.sim.checkpoint.ReplayCursor`, so online
+    recovery observes exactly the per-window accounting of the offline
+    degraded replay.  The two optional hooks are the seams the
+    ``replicate`` recovery mode plugs into:
+
+    * ``on_unreachable(w, event, datum, proc, volume, router, alive)``
+      may serve a fetch whose primary center is unreachable from a
+      replica copy; return ``True`` to suppress the unreachable record;
+    * ``on_stranded(datum, src, w)`` may salvage a datum evacuation
+      could not place; return ``True`` to suppress the loss record.
+    """
+    router = injector.router(w)
+    alive = injector.alive_mask(w)
+
+    newly_down = injector.newly_down(w)
+    if newly_down:
+        if evacuate:
+            _evacuate_nodes(
+                machine, schedule, model, injector, w, newly_down,
+                report, track_links, spatial, on_stranded=on_stranded,
+            )
+        else:
+            for pid in newly_down:
+                report.n_lost += len(machine.residents(pid))
+
+    if w > 0:
+        _relocate_degraded(
+            machine, schedule, model, w, alive, router, report,
+            track_links, spatial,
+        )
+
+    locations = machine.locations()
+    for i in idx:
+        i = int(i)
+        p = int(trace.procs[i])
+        d = int(trace.data[i])
+        volume = float(trace.counts[i]) * model.volume(d)
+        center = int(locations[d])
+        report.n_fetches += 1
+        if not alive[p] or not alive[center]:
+            if on_unreachable is None or not on_unreachable(
+                w, i, d, p, volume, router, alive
+            ):
+                _record_unreachable(report, retry)
+            continue
+        route = router.route(center, p)
+        if route is None:
+            if on_unreachable is None or not on_unreachable(
+                w, i, d, p, volume, router, alive
+            ):
+                _record_unreachable(report, retry)
+            continue
+        _attempt_fetch(
+            report, retry, injector, w, i, route, volume,
+            track_links, spatial,
+        )
 
 
 def _record_unreachable(report: SimReport, retry: RetryPolicy) -> None:
@@ -429,17 +502,21 @@ def _evacuate_nodes(
     report: SimReport,
     track_links: bool,
     spatial: SpatialRecorder | None = None,
+    on_stranded=None,
 ) -> None:
     """Relocate every resident of the just-failed nodes to survivors.
 
     Victims go to their scheduled center for window ``w`` when it is
     alive with headroom, otherwise to the nearest surviving node with a
     free slot; relocation traffic is charged to ``evacuation_cost`` at
-    the surviving-route hop count.
+    the surviving-route hop count.  ``on_stranded(datum, src, w)`` may
+    salvage a victim no survivor can hold (replica promotion); returning
+    ``True`` suppresses the ``n_lost`` record.
     """
     capacities = None if machine.capacity is None else machine.capacity.capacities
+    locations = machine.locations()
     moves, stranded = plan_evacuation(
-        machine.locations(),
+        locations,
         machine.memory_load(),
         capacities,
         newly_down,
@@ -447,12 +524,17 @@ def _evacuate_nodes(
         model.distances,
         preferred=schedule.centers[:, w],
     )
-    report.n_lost += len(stranded)
+    for datum in stranded:
+        if on_stranded is None or not on_stranded(
+            int(datum), int(locations[datum]), w
+        ):
+            report.n_lost += 1
     for move in moves:
         router = injector.recovery_router(w, move.src)
         route = router.route(move.src, move.dst)
         if route is None:
-            report.n_lost += 1
+            if on_stranded is None or not on_stranded(move.datum, move.src, w):
+                report.n_lost += 1
             continue
         machine.relocate(move.datum, move.src, move.dst)
         volume = model.volume(move.datum)

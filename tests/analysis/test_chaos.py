@@ -1,0 +1,152 @@
+"""Chaos campaign: seeded storms, recovery invariants, CLI gate."""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.analysis import ChaosReport, ChaosScenario, run_chaos_campaign
+from repro.analysis.chaos import CAMPAIGN_MODES, EXIT_VIOLATION
+from repro.cli import main
+from repro.diagnostics import RCV004, Diagnostic, Severity
+
+STRUCTURAL = (
+    "index", "seed", "mode", "n_node_faults", "n_link_faults", "drop_rate",
+    "recoverable", "data_preserved", "n_detections", "n_rollbacks",
+    "max_rollback_depth", "wasted_cost", "n_lost", "n_unreachable",
+    "n_replica_served", "n_replica_promoted",
+)
+
+
+def structural(scenario):
+    """Scenario fields with the wall-clock latency stripped out."""
+    return {f: getattr(scenario, f) for f in STRUCTURAL}
+
+
+@pytest.fixture(scope="module")
+def campaign():
+    return run_chaos_campaign(seed=7, n_scenarios=4)
+
+
+class TestCampaign:
+    def test_invariants_hold_on_the_reference_seed(self, campaign):
+        assert campaign.ok
+        assert campaign.exit_code == 0
+        assert campaign.violations == []
+
+    def test_scenario_zero_is_the_fault_free_control(self, campaign):
+        control = campaign.scenarios[0]
+        assert control.n_node_faults == 0 and control.n_link_faults == 0
+        assert control.drop_rate == 0.0
+        assert control.n_detections == 0
+        assert control.data_preserved
+
+    def test_storms_actually_exercise_recovery(self, campaign):
+        storms = campaign.scenarios[1:]
+        assert sum(s.n_node_faults for s in storms) > 0
+        assert sum(s.n_detections for s in storms) > 0
+        assert {s.mode for s in storms} <= set(CAMPAIGN_MODES)
+
+    def test_rollback_depth_bounded_by_checkpoint_interval(self, campaign):
+        for s in campaign.scenarios:
+            assert s.max_rollback_depth <= campaign.checkpoint_interval
+
+    def test_same_seed_is_structurally_deterministic(self, campaign):
+        again = run_chaos_campaign(seed=7, n_scenarios=4)
+        assert [structural(s) for s in campaign.scenarios] == [
+            structural(s) for s in again.scenarios
+        ]
+
+    def test_different_seed_samples_different_storms(self, campaign):
+        other = run_chaos_campaign(seed=8, n_scenarios=4)
+        assert [structural(s) for s in campaign.scenarios[1:]] != [
+            structural(s) for s in other.scenarios[1:]
+        ]
+
+    def test_report_round_trips_through_json(self, campaign):
+        d = campaign.to_dict()
+        assert d["kind"] == "chaos_report"
+        assert json.loads(json.dumps(d)) == d
+        assert d["n_scenarios"] == 4 and d["exit_code"] == 0
+
+    def test_render_mentions_every_scenario(self, campaign):
+        text = campaign.render()
+        for s in campaign.scenarios:
+            assert f"#{s.index}" in text
+        assert "OK" in campaign.summary()
+
+
+class TestVerdict:
+    def violating_report(self):
+        clean = run_chaos_campaign(seed=7, n_scenarios=2)
+        bad = dataclasses.replace(
+            clean.scenarios[1],
+            violations=(
+                Diagnostic(
+                    code=RCV004,
+                    severity=Severity.ERROR,
+                    message="rollback depth 5 exceeds checkpoint interval 2",
+                ),
+            ),
+        )
+        clean.scenarios[1] = bad
+        return clean
+
+    def test_violation_flips_the_exit_code(self):
+        report = self.violating_report()
+        assert not report.ok
+        assert report.exit_code == EXIT_VIOLATION
+        assert "VIOLATION" in report.summary()
+        assert "RCV004" in report.render()
+
+    def test_violation_survives_serialization(self):
+        d = self.violating_report().to_dict()
+        assert d["exit_code"] == EXIT_VIOLATION
+        assert d["scenarios"][1]["violations"][0]["code"] == "RCV004"
+
+
+class TestCli:
+    def test_clean_campaign_exits_zero(self, capsys, tmp_path):
+        out = tmp_path / "chaos.json"
+        code = main(
+            ["chaos", "--seed", "7", "--scenarios", "3",
+             "--output", str(out)]
+        )
+        assert code == 0
+        report = json.loads(out.read_text())
+        assert report["kind"] == "chaos_report"
+        assert report["n_scenarios"] == 3
+        assert "chaos[seed=7]" in capsys.readouterr().out
+
+    def test_json_format_on_stdout(self, capsys):
+        assert main(["chaos", "--seed", "7", "--scenarios", "2",
+                     "--format", "json"]) == 0
+        parsed = json.loads(capsys.readouterr().out)
+        assert parsed["ok"] is True
+
+    def test_violation_exits_three(self, capsys, monkeypatch):
+        scenario = ChaosScenario(
+            index=0, seed=70000, mode="degrade", n_node_faults=1,
+            n_link_faults=0, drop_rate=0.0, recoverable=True,
+            data_preserved=False, n_detections=1, n_rollbacks=1,
+            max_rollback_depth=9, wasted_cost=0.0, n_lost=3,
+            n_unreachable=0, n_replica_served=0, n_replica_promoted=0,
+            recovery_latency_s=0.0,
+            violations=(
+                Diagnostic(
+                    code=RCV004,
+                    severity=Severity.ERROR,
+                    message="rollback depth 9 exceeds checkpoint interval 2",
+                ),
+            ),
+        )
+        bad = ChaosReport(
+            seed=7, bench=1, size=8, mesh=(4, 4), scheduler="GOMCDS",
+            checkpoint_interval=2, scenarios=[scenario],
+        )
+        monkeypatch.setattr(
+            "repro.analysis.run_chaos_campaign", lambda **kw: bad
+        )
+        assert main(["chaos", "--seed", "7", "--scenarios", "1"]) == 3
+        captured = capsys.readouterr()
+        assert "violation" in captured.err.lower()

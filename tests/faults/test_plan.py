@@ -160,3 +160,38 @@ def test_plan_is_hashable_value():
     a = FaultPlan(node_faults=(NodeFault(1),), drop_rate=0.1, seed=3)
     b = FaultPlan(node_faults=(NodeFault(1),), drop_rate=0.1, seed=3)
     assert a == b and hash(a) == hash(b)
+
+
+class TestMaxDownFraction:
+    def test_caps_the_failing_set(self, mesh44):
+        for seed in range(8):
+            plan = FaultPlan.random(
+                mesh44, 4, node_rate=1.0, seed=seed, max_down_fraction=0.25
+            )
+            assert len(plan.node_faults) <= int(0.25 * mesh44.n_procs)
+
+    def test_default_cap_is_half_the_array(self, mesh44):
+        for seed in range(8):
+            plan = FaultPlan.random(mesh44, 4, node_rate=1.0, seed=seed)
+            assert len(plan.node_faults) <= mesh44.n_procs // 2
+
+    def test_composes_with_min_survivors(self, mesh44):
+        plan = FaultPlan.random(
+            mesh44, 4, node_rate=1.0, seed=3,
+            min_survivors=14, max_down_fraction=1.0,
+        )
+        assert len(plan.node_faults) <= 2
+
+    def test_out_of_range_is_a_coded_error(self, mesh44):
+        for bad in (0.0, -0.5, 1.5):
+            with pytest.raises(FaultConfigError, match=r"\[FLT004\]"):
+                FaultPlan.random(
+                    mesh44, 4, node_rate=0.5, max_down_fraction=bad
+                )
+
+    def test_full_fraction_allowed(self, mesh44):
+        plan = FaultPlan.random(
+            mesh44, 4, node_rate=1.0, seed=1, max_down_fraction=1.0
+        )
+        # min_survivors=1 still keeps one node alive
+        assert len(plan.node_faults) <= mesh44.n_procs - 1

@@ -8,6 +8,7 @@ from repro.core import (
     evaluate_schedule,
     gomcds,
     reschedule_around_faults,
+    reschedule_from_window,
 )
 from repro.faults import FaultPlan, NodeFault
 from repro.mem import CapacityError
@@ -144,3 +145,127 @@ def test_method_tag_and_meta(lu8_tensor, model44):
     schedule = reschedule_around_faults(lu8_tensor, model44, plan)
     assert schedule.method == "GOMCDS+faults"
     assert schedule.meta["n_node_faults"] == 1
+
+
+# -- incremental rescheduling (online recovery's planning step) ---------------
+
+
+class TestRescheduleFromWindow:
+    @pytest.fixture
+    def mid_fault(self, lu8_tensor, model44):
+        schedule = gomcds(lu8_tensor, model44)
+        w = lu8_tensor.n_windows // 2
+        victim = int(schedule.centers[0, w])
+        plan = FaultPlan(node_faults=(NodeFault(victim, start=w),))
+        return schedule, plan, w, victim
+
+    def test_prefix_is_preserved_verbatim(self, mid_fault, lu8_tensor, model44):
+        schedule, plan, w, _ = mid_fault
+        new = reschedule_from_window(
+            schedule, lu8_tensor, model44, plan, from_window=w
+        )
+        assert np.array_equal(new.centers[:, :w], schedule.centers[:, :w])
+        assert new.method == "GOMCDS+recovery"
+        assert new.meta["from_window"] == w
+        assert new.meta["base_method"] == schedule.method
+
+    def test_suffix_avoids_dead_cells(self, mid_fault, lu8_tensor, model44):
+        schedule, plan, w, _ = mid_fault
+        new = reschedule_from_window(
+            schedule, lu8_tensor, model44, plan, from_window=w
+        )
+        alive = alive_window_mask(plan, lu8_tensor.n_windows, model44.n_procs)
+        for ww in range(w, lu8_tensor.n_windows):
+            chosen = set(int(c) for c in new.centers[:, ww])
+            dead = set(np.nonzero(~alive[ww])[0].tolist())
+            assert not chosen & dead
+
+    def test_mid_schedule_fault_replay_improves(
+        self, mid_fault, lu8, lu8_tensor, model44
+    ):
+        # re-planning the suffix must not degrade the replay vs keeping
+        # the stale schedule under the same mid-schedule fault
+        schedule, plan, w, _ = mid_fault
+        new = reschedule_from_window(
+            schedule, lu8_tensor, model44, plan, from_window=w
+        )
+        stale = replay_schedule(lu8.trace, schedule, model44, faults=plan)
+        fresh = replay_schedule(lu8.trace, new, model44, faults=plan)
+        assert fresh.accounts_for_all_fetches()
+        assert fresh.degraded_cost <= stale.degraded_cost
+
+    def test_pinned_placement_changes_the_first_suffix_window(
+        self, lu8_tensor, model44
+    ):
+        # pinning every datum onto pid 0 makes moving anywhere else cost
+        # hops from pid 0, so the re-plan must charge (and may choose)
+        # differently from the unpinned prefix continuation
+        schedule = gomcds(lu8_tensor, model44)
+        plan = FaultPlan(node_faults=(NodeFault(15, start=1),))
+        pinned = np.zeros(lu8_tensor.n_data, dtype=np.int64)
+        new = reschedule_from_window(
+            schedule, lu8_tensor, model44, plan, from_window=1,
+            placement=pinned,
+        )
+        default = reschedule_from_window(
+            schedule, lu8_tensor, model44, plan, from_window=1
+        )
+        assert new.n_windows == default.n_windows
+        assert not np.array_equal(new.centers, default.centers)
+
+    def test_from_window_zero_with_initial_placement(
+        self, lu8_tensor, model44
+    ):
+        schedule = gomcds(lu8_tensor, model44)
+        plan = FaultPlan(node_faults=(NodeFault(3, start=0),))
+        new = reschedule_from_window(
+            schedule, lu8_tensor, model44, plan, from_window=0
+        )
+        assert 3 not in set(new.centers.ravel().tolist())
+
+    def test_out_of_range_from_window_rejected(self, mid_fault, lu8_tensor, model44):
+        schedule, plan, _, _ = mid_fault
+        with pytest.raises(ValueError, match="from_window"):
+            reschedule_from_window(
+                schedule, lu8_tensor, model44, plan,
+                from_window=lu8_tensor.n_windows,
+            )
+        with pytest.raises(ValueError, match="from_window"):
+            reschedule_from_window(
+                schedule, lu8_tensor, model44, plan, from_window=-1
+            )
+
+    def test_bad_placement_shape_rejected(self, mid_fault, lu8_tensor, model44):
+        schedule, plan, w, _ = mid_fault
+        with pytest.raises(ValueError, match="placement"):
+            reschedule_from_window(
+                schedule, lu8_tensor, model44, plan, from_window=w,
+                placement=np.zeros(3, dtype=np.int64),
+            )
+
+    def test_dead_suffix_window_raises_flt004(self, lu8_tensor, model44):
+        schedule = gomcds(lu8_tensor, model44)
+        plan = FaultPlan(
+            node_faults=tuple(NodeFault(pid=p, start=3, end=4) for p in range(16))
+        )
+        with pytest.raises(CapacityError, match=r"\[FLT004\].*window 3") as info:
+            reschedule_from_window(
+                schedule, lu8_tensor, model44, plan, from_window=2
+            )
+        assert info.value.window == 3
+
+    def test_capacity_respected_on_suffix(
+        self, lu8_tensor, model44, paper_capacity
+    ):
+        schedule = gomcds(lu8_tensor, model44, paper_capacity)
+        plan = FaultPlan(node_faults=(NodeFault(5, start=1),))
+        new = reschedule_from_window(
+            schedule, lu8_tensor, model44, plan, from_window=1,
+            capacity=paper_capacity,
+        )
+        caps = paper_capacity.capacities
+        for w in range(1, lu8_tensor.n_windows):
+            occupancy = np.bincount(
+                new.centers[:, w], minlength=model44.n_procs
+            )
+            assert (occupancy <= caps).all()

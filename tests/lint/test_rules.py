@@ -285,3 +285,50 @@ def test_gomcds_workloads_are_thy001_clean(mesh44):
     for bench in (1, 2, 3):
         report = run_lint(workload_context(bench, 8, mesh44), select=["THY"])
         assert report.diagnostics == [], bench
+
+def test_flt007_checkpoint_interval_bounds(mesh44):
+    from repro.faults import RecoveryPolicy
+
+    report = run_lint(
+        LintContext(recovery=RecoveryPolicy(checkpoint_interval=0)),
+        select=["FLT007"],
+    )
+    (diag,) = report.diagnostics
+    assert diag.severity is Severity.ERROR
+    assert "checkpoint interval" in diag.message
+
+    # interval past the horizon needs windows to be judged against
+    context = LintContext(
+        recovery=RecoveryPolicy(checkpoint_interval=9),
+        windows=windows_by_step_count(6, 2),  # 3 windows
+    )
+    report = run_lint(context, select=["FLT007"])
+    (diag,) = report.diagnostics
+    assert "3" in diag.message
+
+    ok = LintContext(
+        recovery=RecoveryPolicy(checkpoint_interval=3),
+        windows=windows_by_step_count(6, 2),
+    )
+    assert run_lint(ok, select=["FLT007"]).diagnostics == []
+
+
+def test_flt008_replicate_needs_replicas(mesh44):
+    from repro.core import CostModel, replicated_scds
+    from repro.faults import RecoveryPolicy
+    from repro.workloads import drifting_hotspot_workload
+
+    policy = RecoveryPolicy(mode="replicate")
+    report = run_lint(LintContext(recovery=policy), select=["FLT008"])
+    (diag,) = report.diagnostics
+    assert "replica" in diag.message
+
+    wl = drifting_hotspot_workload(mesh44, 3, 8, seed=5)
+    tensor = wl.reference_tensor()
+    replicas = replicated_scds(tensor, CostModel(mesh44), k=2)
+    ok = LintContext(recovery=policy, replicas=replicas)
+    assert run_lint(ok, select=["FLT008"]).diagnostics == []
+
+    # degrade mode never needs replicas
+    plain = LintContext(recovery=RecoveryPolicy(mode="degrade"))
+    assert run_lint(plain, select=["FLT008"]).diagnostics == []

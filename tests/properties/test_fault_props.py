@@ -1,0 +1,77 @@
+"""Property-based tests of the fault-plan window semantics (hypothesis).
+
+The contract under test: the per-fault ``_WindowedFault.active_in``
+predicate and the plan-level ``FaultPlan.fault_epoch`` set view are two
+projections of the same activation relation and can never disagree.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.faults import FaultPlan, LinkFault, NodeFault
+
+windows = st.integers(min_value=0, max_value=32)
+
+
+@st.composite
+def spans(draw):
+    start = draw(st.integers(0, 16))
+    end = draw(st.one_of(st.none(), st.integers(start + 1, 32)))
+    return start, end
+
+
+@st.composite
+def node_faults(draw):
+    start, end = draw(spans())
+    return NodeFault(pid=draw(st.integers(0, 7)), start=start, end=end)
+
+
+@st.composite
+def link_faults(draw):
+    start, end = draw(spans())
+    src = draw(st.integers(0, 7))
+    dst = draw(st.integers(0, 7).filter(lambda d: d != src))
+    return LinkFault(src=src, dst=dst, start=start, end=end)
+
+
+@st.composite
+def plans(draw):
+    return FaultPlan(
+        node_faults=tuple(draw(st.lists(node_faults(), max_size=5))),
+        link_faults=tuple(draw(st.lists(link_faults(), max_size=5))),
+    )
+
+
+@settings(max_examples=200)
+@given(fault=st.one_of(node_faults(), link_faults()), window=windows)
+def test_active_in_matches_half_open_range(fault, window):
+    expected = fault.start <= window and (
+        fault.end is None or window < fault.end
+    )
+    assert fault.active_in(window) == expected
+
+
+@settings(max_examples=200)
+@given(plan=plans(), window=windows)
+def test_active_in_agrees_with_fault_epoch_membership(plan, window):
+    down_nodes, down_links = plan.fault_epoch(window)
+    # an active fault always implies membership (faults overlapping on
+    # the same pid/link make the converse a union, tested below)
+    for fault in plan.node_faults:
+        if fault.active_in(window):
+            assert fault.pid in down_nodes
+    for fault in plan.link_faults:
+        if fault.active_in(window):
+            assert (fault.src, fault.dst) in down_links
+    # and the epoch never invents entries no active fault names
+    assert down_links == frozenset(
+        (f.src, f.dst) for f in plan.link_faults if f.active_in(window)
+    )
+
+
+@settings(max_examples=200)
+@given(plan=plans(), window=windows)
+def test_epoch_nodes_are_exactly_the_active_faults(plan, window):
+    down_nodes, _ = plan.fault_epoch(window)
+    active = {f.pid for f in plan.node_faults if f.active_in(window)}
+    assert down_nodes == frozenset(active)
