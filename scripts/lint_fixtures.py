@@ -1,0 +1,92 @@
+#!/usr/bin/env python
+"""Lint changed artifact fixtures (the pre-commit hook entry point).
+
+Routes each path to ``repro lint`` by artifact kind — fault-plan JSON
+(``*.json`` whose payload has ``node_faults``/``link_faults`` keys),
+schedule archives (``*schedule*.npz``/``*sched*.npz``) and trace
+archives (every other ``.npz``) — and fails when any file lints with
+errors.  Files that are not repro artifacts (other JSON, source code)
+are skipped, so the hook can be pointed at a broad file pattern.
+
+Usage::
+
+    python scripts/lint_fixtures.py [--mesh R C] FILE [FILE ...]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.grid import Mesh2D  # noqa: E402
+from repro.lint import (  # noqa: E402
+    EXIT_CLEAN,
+    EXIT_ERRORS,
+    load_context,
+    render_human,
+    run_lint,
+)
+
+_SCHEDULE_HINTS = ("schedule", "sched")
+
+
+def _classify(path: Path) -> str | None:
+    """Artifact kind of ``path``: 'faults', 'schedule', 'trace' or None."""
+    if path.suffix == ".json":
+        try:
+            payload = json.loads(path.read_text())
+        except (OSError, ValueError):
+            return None
+        if isinstance(payload, dict) and (
+            "node_faults" in payload or "link_faults" in payload
+        ):
+            return "faults"
+        return None
+    if path.suffix == ".npz":
+        name = path.name.lower()
+        if any(hint in name for hint in _SCHEDULE_HINTS):
+            return "schedule"
+        return "trace"
+    return None
+
+
+def lint_file(path: Path, topology) -> int:
+    kind = _classify(path)
+    if kind is None:
+        return EXIT_CLEAN
+    context, failures = load_context(
+        schedule_path=str(path) if kind == "schedule" else None,
+        trace_path=str(path) if kind == "trace" else None,
+        faults_path=str(path) if kind == "faults" else None,
+        topology=topology,
+    )
+    report = run_lint(context)
+    report.prepend(failures)
+    if report.diagnostics:
+        print(f"== {path} ({kind})")
+        print(render_human(report))
+    return report.exit_code
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("paths", nargs="+", type=Path)
+    parser.add_argument(
+        "--mesh", type=int, nargs=2, default=[4, 4], metavar=("ROWS", "COLS")
+    )
+    args = parser.parse_args(argv)
+    topology = Mesh2D(*args.mesh)
+    worst = EXIT_CLEAN
+    for path in args.paths:
+        worst = max(worst, lint_file(path, topology))
+    # warnings do not block a commit; errors do
+    return EXIT_ERRORS if worst >= EXIT_ERRORS else EXIT_CLEAN
+
+
+if __name__ == "__main__":
+    sys.exit(main())

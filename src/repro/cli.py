@@ -9,7 +9,10 @@ Usage::
         | ablation-grouping
     python -m repro faults [--node-rate 0.2] [--fail-node 5] [--sweep]
     python -m repro lint [--bench 1 --size 8 | --schedule s.npz] \
-        [--trace t.npz] [--faults plan.json] [--format human|json|sarif]
+        [--trace t.npz] [--faults plan.json] [--format human|json|sarif] \
+        [--fix | --diff]
+    python -m repro certify [--bench 1 --size 8 | --schedule s.npz \
+        --trace t.npz] [--faults plan.json] [--format human|json|sarif]
     python -m repro profile [--workload suite|lu|fft|...] [--spatial] \
         [--format summary|jsonl|chrome] [--output trace.json]
     python -m repro heatmap [--bench 1 --size 16] [--scheduler GOMCDS]
@@ -149,6 +152,7 @@ def main(argv: list[str] | None = None) -> int:
     _add_faults_parser(add_parser)
     _add_chaos_parser(add_parser)
     _add_lint_parser(add_parser)
+    _add_certify_parser(add_parser)
     _add_profile_parser(add_parser)
     _add_heatmap_parser(add_parser)
     _add_bench_compare_parser(add_parser)
@@ -382,9 +386,175 @@ def _add_lint_parser(add_parser) -> None:
         help="override a rule's severity, e.g. THY001=error (repeatable)",
     )
     parser.add_argument(
+        "--fix", action="store_true",
+        help="apply the safe auto-fixes (see docs/lint.md), write repaired "
+        "file artifacts back, and re-lint",
+    )
+    parser.add_argument(
+        "--diff", action="store_true",
+        help="preview what --fix would change without writing anything",
+    )
+    parser.add_argument(
         "--output", metavar="PATH", default=None,
         help="write the report to a file instead of stdout",
     )
+
+
+def _add_certify_parser(add_parser) -> None:
+    parser = add_parser(
+        "certify",
+        help="static schedule certifier: abstract interpretation, optimality "
+        "certificates and a static-vs-dynamic differential gate "
+        "(docs/certify.md); exits 0 clean / 1 warnings / 2 static errors / "
+        "3 divergence",
+    )
+    parser.add_argument(
+        "--bench", type=int, default=None,
+        help="certify a named paper workload (1-5), scheduling it with a "
+        "certificate-emitting run",
+    )
+    parser.add_argument("--size", type=int, default=8, help="matrix size n")
+    parser.add_argument("--scheduler", default="GOMCDS")
+    parser.add_argument("--seed", type=int, default=1998)
+    parser.add_argument(
+        "--mesh", type=int, nargs=2, default=[4, 4], metavar=("ROWS", "COLS")
+    )
+    parser.add_argument(
+        "--capacity-multiplier", type=float, default=2.0,
+        help="paper-rule capacity sizing for --bench runs",
+    )
+    parser.add_argument(
+        "--schedule", metavar="PATH",
+        help=".npz schedule archive to certify instead of --bench "
+        "(certificates are in-memory only, so file mode certifies "
+        "everything except optimality)",
+    )
+    parser.add_argument(
+        "--trace", metavar="PATH",
+        help=".npz trace archive giving the ground truth for --schedule",
+    )
+    parser.add_argument(
+        "--faults", metavar="PATH", default=None,
+        help="fault-plan JSON: certify the degraded execution against it",
+    )
+    parser.add_argument(
+        "--fail-node", type=int, action="append", default=[], metavar="PID",
+        help="explicitly fail a processor (repeatable)",
+    )
+    parser.add_argument(
+        "--fail-window", type=int, default=0,
+        help="window at which --fail-node processors go down",
+    )
+    parser.add_argument(
+        "--link-budget", type=float, default=None,
+        help="per-link volume budget; VER003 fires above it",
+    )
+    parser.add_argument(
+        "--hotspot-factor", type=float, default=None,
+        help="VER003 fires for links loaded this many times the mean",
+    )
+    parser.add_argument(
+        "--require-certificate", action="store_true",
+        help="treat a missing optimality certificate as an error (VER005)",
+    )
+    parser.add_argument(
+        "--no-differential", action="store_true",
+        help="skip the replay comparison (purely static certification)",
+    )
+    parser.add_argument(
+        "--no-theory", action="store_true",
+        help="skip the VER011 separable-convexity cross-check",
+    )
+    parser.add_argument(
+        "--format", choices=("human", "json", "sarif"), default="human",
+        dest="fmt", help="report format",
+    )
+    parser.add_argument(
+        "--output", metavar="PATH", default=None,
+        help="write the report to a file instead of stdout",
+    )
+
+
+def _run_certify(args) -> int:
+    from .grid import Mesh2D
+    from .verify import (
+        certify_schedule,
+        certify_workload,
+        render_certify_human,
+        render_certify_json,
+        render_certify_sarif,
+    )
+
+    topology = Mesh2D(*args.mesh)
+    faults = None
+    if args.faults is not None:
+        faults = FaultPlan.load_json(args.faults)
+    if args.fail_node:
+        explicit = tuple(
+            NodeFault(pid=pid, start=args.fail_window) for pid in args.fail_node
+        )
+        faults = FaultPlan(
+            node_faults=(faults.node_faults if faults else ()) + explicit,
+            link_faults=faults.link_faults if faults else (),
+            drop_rate=faults.drop_rate if faults else 0.0,
+            seed=faults.seed if faults else 0,
+        )
+    if faults is not None:
+        faults.validate_for(topology)
+
+    common = dict(
+        link_budget=args.link_budget,
+        hotspot_factor=args.hotspot_factor,
+        require_certificate=args.require_certificate,
+        differential=not args.no_differential,
+        check_theory=not args.no_theory,
+    )
+    if args.bench is not None:
+        report = certify_workload(
+            args.bench,
+            args.size,
+            topology,
+            scheduler=args.scheduler,
+            seed=args.seed,
+            capacity_multiplier=args.capacity_multiplier,
+            faults=faults,
+            **common,
+        )
+    elif args.schedule is not None:
+        if args.trace is None:
+            raise ValueError(
+                "--schedule needs --trace for the differential ground truth"
+            )
+        from .core import CostModel
+        from .trace import load_schedule, load_trace
+
+        schedule = load_schedule(args.schedule)
+        trace, _ = load_trace(args.trace)
+        report = certify_schedule(
+            schedule,
+            trace,
+            CostModel(topology),
+            faults=faults,
+            label=str(args.schedule),
+            **common,
+        )
+    else:
+        raise ValueError("certify needs --bench or --schedule/--trace")
+
+    renderer = {
+        "human": render_certify_human,
+        "json": render_certify_json,
+        "sarif": render_certify_sarif,
+    }[args.fmt]
+    text = renderer(report)
+    if args.output:
+        from pathlib import Path
+
+        Path(args.output).write_text(text + "\n")
+        print(report.summary())
+    else:
+        print(text)
+    return report.exit_code
 
 
 def _add_profile_parser(add_parser) -> None:
@@ -701,7 +871,29 @@ def _run_lint(args) -> int:
     report = run_lint(
         context, select=args.select, ignore=args.ignore, severities=severities
     )
-    report.diagnostics[:0] = failures
+    report.prepend(failures)
+
+    if args.fix or args.diff:
+        from .lint import apply_fixes, render_diff
+
+        outcome = apply_fixes(context, report.diagnostics)
+        if args.diff:
+            print(render_diff(outcome))
+            return report.exit_code
+        if outcome.n_fixed:
+            for fix in outcome.fixes:
+                print(f"fixed [{fix.code}] {fix.artifact}: {fix.description}")
+            _write_fixed_artifacts(args, context, outcome.modified)
+            # re-lint the repaired context so the report reflects reality
+            report = run_lint(
+                context,
+                select=args.select,
+                ignore=args.ignore,
+                severities=severities,
+            )
+            report.prepend(failures)
+        else:
+            print("no applicable fixes")
 
     renderer = {
         "human": render_human,
@@ -716,6 +908,29 @@ def _run_lint(args) -> int:
     else:
         print(text)
     return report.exit_code
+
+
+def _write_fixed_artifacts(args, context, modified: set[str]) -> None:
+    """Persist repaired artifacts back to the files they were loaded from.
+
+    Only file-backed artifacts can round-trip; generated ones (a --bench
+    schedule, a --recovery-mode policy) are repaired in memory only.
+    """
+    from .trace import save_schedule, save_trace
+
+    if "faults" in modified and args.faults:
+        context.faults.save_json(args.faults)
+        print(f"wrote repaired fault plan to {args.faults}")
+    if ("windows" in modified or "trace" in modified) and args.trace:
+        save_trace(args.trace, context.trace, context.windows)
+        print(f"wrote repaired trace/windows to {args.trace}")
+    if (
+        ("schedule" in modified or "windows" in modified)
+        and args.schedule
+        and context.schedule is not None
+    ):
+        save_schedule(args.schedule, context.schedule)
+        print(f"wrote repaired schedule to {args.schedule}")
 
 
 def _run_faults(args) -> int:
@@ -811,6 +1026,8 @@ def _dispatch(args) -> int:
         return _run_chaos(args)
     if args.command == "lint":
         return _run_lint(args)
+    if args.command == "certify":
+        return _run_certify(args)
     if args.command == "profile":
         return _run_profile(args)
     if args.command == "heatmap":

@@ -38,7 +38,8 @@ def shortest_center_path(
     window_costs: np.ndarray,
     move_costs: np.ndarray,
     allowed: np.ndarray | None = None,
-) -> tuple[np.ndarray, float]:
+    return_potentials: bool = False,
+):
     """Optimal center-per-window path for one datum.
 
     Parameters
@@ -50,11 +51,17 @@ def shortest_center_path(
     allowed:
         Optional boolean mask of admissible ``(window, processor)`` cells
         (memory availability); disallowed cells are priced at infinity.
+    return_potentials:
+        Also return the forward DP value table ``f`` — the shortest-path
+        node potentials that :mod:`repro.verify.certificate` checks for
+        dual feasibility and tightness.
 
     Returns
     -------
     ``(path, cost)`` where ``path`` is the ``(n_windows,)`` pid sequence
-    and ``cost`` the total reference + movement cost.
+    and ``cost`` the total reference + movement cost.  With
+    ``return_potentials`` a third ``(n_windows, n_procs)`` array of DP
+    potentials (``inf`` at inadmissible cells) is appended.
 
     Raises
     ------
@@ -66,12 +73,21 @@ def shortest_center_path(
     if allowed is not None:
         costs[~allowed] = _INF
     back = np.zeros((n_windows, n_procs), dtype=np.int64)
+    potentials = (
+        np.empty((n_windows, n_procs), dtype=np.float64)
+        if return_potentials
+        else None
+    )
     f = costs[0]
+    if potentials is not None:
+        potentials[0] = f
     for w in range(1, n_windows):
         # transition[j, k] = f[j] + move_costs[j, k]
         transition = f[:, None] + move_costs
         back[w] = transition.argmin(axis=0)
         f = transition.min(axis=0) + costs[w]
+        if potentials is not None:
+            potentials[w] = f
     end = int(f.argmin())
     total = float(f[end])
     if not np.isfinite(total):
@@ -80,31 +96,73 @@ def shortest_center_path(
     path[-1] = end
     for w in range(n_windows - 1, 0, -1):
         path[w - 1] = back[w, path[w]]
+    if return_potentials:
+        return path, total, potentials
     return path, total
 
 
 def _all_paths_vectorized(
-    costs: np.ndarray, dist: np.ndarray, vols: np.ndarray
-) -> np.ndarray:
+    costs: np.ndarray,
+    dist: np.ndarray,
+    vols: np.ndarray,
+    return_potentials: bool = False,
+):
     """Unconstrained DP for all data at once.
 
     ``costs`` is ``(D, W, m)``; movement between windows for datum ``d``
-    is ``vols[d] * dist``.  Returns ``(D, W)`` center paths.
+    is ``vols[d] * dist``.  Returns ``(D, W)`` center paths, plus the
+    ``(D, W, m)`` DP potential tables when ``return_potentials``.
     """
     n_data, n_windows, n_procs = costs.shape
     back = np.zeros((n_data, n_windows, n_procs), dtype=np.int64)
+    potentials = (
+        np.empty((n_data, n_windows, n_procs), dtype=np.float64)
+        if return_potentials
+        else None
+    )
     f = costs[:, 0, :].astype(np.float64, copy=True)
+    if potentials is not None:
+        potentials[:, 0, :] = f
     move = vols[:, None, None] * dist[None, :, :]  # (D, m, m)
     for w in range(1, n_windows):
         transition = f[:, :, None] + move  # (D, m, m): axis 1 = from, 2 = to
         back[:, w, :] = transition.argmin(axis=1)
         f = transition.min(axis=1) + costs[:, w, :]
+        if potentials is not None:
+            potentials[:, w, :] = f
     paths = np.empty((n_data, n_windows), dtype=np.int64)
     paths[:, -1] = f.argmin(axis=1)
     rows = np.arange(n_data)
     for w in range(n_windows - 1, 0, -1):
         paths[:, w - 1] = back[rows, w, paths[:, w]]
+    if return_potentials:
+        return paths, potentials
     return paths
+
+
+def _certificate(
+    potentials: np.ndarray,
+    masks: np.ndarray | None = None,
+    from_window: int = 0,
+    placement: np.ndarray | None = None,
+) -> dict:
+    """Schedule-meta payload proving per-datum path optimality.
+
+    ``potentials`` are the forward DP value tables — valid shortest-path
+    node potentials over each datum's cost-graph.  The standalone checker
+    (:mod:`repro.verify.certificate`) verifies dual feasibility and
+    tightness without re-running the solver.
+    """
+    totals = potentials[:, -1, :].min(axis=1)
+    return {
+        "kind": "gomcds-potentials",
+        "version": 1,
+        "potentials": potentials,
+        "totals": totals,
+        "masks": masks,
+        "from_window": int(from_window),
+        "placement": None if placement is None else np.asarray(placement),
+    }
 
 
 def gomcds(
@@ -112,6 +170,7 @@ def gomcds(
     model: CostModel,
     capacity: CapacityPlan | None = None,
     *,
+    certify: bool = False,
     instrument: Instrumentation | None = None,
 ) -> Schedule:
     """Global-optimal multiple-center scheduling (paper's Algorithm 2).
@@ -123,6 +182,11 @@ def gomcds(
     data are routed through the cost-graph in descending reference-volume
     order and full ``(window, processor)`` cells are masked out — the
     processor-list idea generalized to paths.
+
+    With ``certify=True`` the schedule carries an optimality certificate
+    in ``meta["certificate"]``: the DP's forward value tables double as
+    shortest-path node potentials, so :mod:`repro.verify` can prove each
+    path optimal (within its admissible mask) without trusting the solver.
     """
     obs = resolve(instrument)
     n_data, n_windows = tensor.n_data, tensor.n_windows
@@ -145,21 +209,48 @@ def gomcds(
 
         if capacity is None:
             with obs.span("gomcds.dp_sweep"):
-                centers = _all_paths_vectorized(costs, dist, vols)
+                if certify:
+                    centers, potentials = _all_paths_vectorized(
+                        costs, dist, vols, return_potentials=True
+                    )
+                    meta = {"certificate": _certificate(potentials)}
+                else:
+                    centers = _all_paths_vectorized(costs, dist, vols)
+                    meta = {}
             return Schedule(
-                centers=centers, windows=tensor.windows, method="GOMCDS"
+                centers=centers,
+                windows=tensor.windows,
+                method="GOMCDS",
+                meta=meta,
             )
 
         capacity.check_feasible(n_data)
         tracker = OccupancyTracker(capacity, n_windows=n_windows)
         centers = np.empty((n_data, n_windows), dtype=np.int64)
+        potentials = (
+            np.empty((n_data, n_windows, model.n_procs)) if certify else None
+        )
+        masks = (
+            np.empty((n_data, n_windows, model.n_procs), dtype=bool)
+            if certify
+            else None
+        )
         with obs.span("gomcds.capacity_walk"):
             for d in tensor.data_priority_order():
-                path, _ = shortest_center_path(
-                    costs[d], vols[d] * dist, allowed=tracker.available_mask()
-                )
+                allowed = tracker.available_mask()
+                if certify:
+                    masks[d] = allowed
+                    path, _, potentials[d] = shortest_center_path(
+                        costs[d], vols[d] * dist, allowed=allowed,
+                        return_potentials=True,
+                    )
+                else:
+                    path, _ = shortest_center_path(
+                        costs[d], vols[d] * dist, allowed=allowed
+                    )
                 tracker.claim_path(path)
                 centers[d] = path
+        meta = {"certificate": _certificate(potentials, masks)} if certify else {}
         return Schedule(
-            centers=centers, windows=tensor.windows, method="GOMCDS"
+            centers=centers, windows=tensor.windows, method="GOMCDS", meta=meta
         )

@@ -26,7 +26,7 @@ from ..mem import CapacityError, CapacityPlan, OccupancyTracker
 from ..obs import Instrumentation, resolve
 from ..trace import ReferenceTensor
 from .cost import CostModel
-from .gomcds import shortest_center_path
+from .gomcds import _certificate, shortest_center_path
 from .schedule import Schedule
 
 __all__ = [
@@ -54,6 +54,7 @@ def reschedule_around_faults(
     plan: FaultPlan,
     capacity: CapacityPlan | None = None,
     *,
+    certify: bool = False,
     instrument: Instrumentation | None = None,
 ) -> Schedule:
     """GOMCDS-style scheduling that never places data on a failed node.
@@ -124,22 +125,38 @@ def reschedule_around_faults(
             tracker = OccupancyTracker(capacity, n_windows=n_windows)
 
         centers = np.empty((n_data, n_windows), dtype=np.int64)
+        potentials = np.empty((n_data, n_windows, n_procs)) if certify else None
+        masks = (
+            np.empty((n_data, n_windows, n_procs), dtype=bool)
+            if certify
+            else None
+        )
         with obs.span("reschedule.capacity_walk"):
             for d in tensor.data_priority_order():
                 allowed = (
                     alive if tracker is None else alive & tracker.available_mask()
                 )
-                path, _ = shortest_center_path(
-                    costs[d], vols[d] * dist, allowed=allowed
-                )
+                if certify:
+                    masks[d] = allowed
+                    path, _, potentials[d] = shortest_center_path(
+                        costs[d], vols[d] * dist, allowed=allowed,
+                        return_potentials=True,
+                    )
+                else:
+                    path, _ = shortest_center_path(
+                        costs[d], vols[d] * dist, allowed=allowed
+                    )
                 if tracker is not None:
                     tracker.claim_path(path)
                 centers[d] = path
+        meta = {"n_node_faults": len(plan.node_faults)}
+        if certify:
+            meta["certificate"] = _certificate(potentials, masks)
         return Schedule(
             centers=centers,
             windows=tensor.windows,
             method="GOMCDS+faults",
-            meta={"n_node_faults": len(plan.node_faults)},
+            meta=meta,
         )
 
 
@@ -152,6 +169,7 @@ def reschedule_from_window(
     placement: np.ndarray | None = None,
     capacity: CapacityPlan | None = None,
     *,
+    certify: bool = False,
     instrument: Instrumentation | None = None,
 ) -> Schedule:
     """Re-plan only the windows ``from_window ..`` against a degraded array.
@@ -234,6 +252,12 @@ def reschedule_from_window(
             tracker = OccupancyTracker(capacity, n_windows=n_suffix)
 
         centers = schedule.centers.copy()
+        potentials = np.empty((n_data, n_suffix, n_procs)) if certify else None
+        masks = (
+            np.empty((n_data, n_suffix, n_procs), dtype=bool)
+            if certify
+            else None
+        )
         with obs.span("reschedule.capacity_walk"):
             for d in tensor.data_priority_order():
                 window_costs = costs[d].copy()
@@ -244,19 +268,31 @@ def reschedule_from_window(
                 allowed = (
                     alive if tracker is None else alive & tracker.available_mask()
                 )
-                path, _ = shortest_center_path(
-                    window_costs, vols[d] * dist, allowed=allowed
-                )
+                if certify:
+                    masks[d] = allowed
+                    path, _, potentials[d] = shortest_center_path(
+                        window_costs, vols[d] * dist, allowed=allowed,
+                        return_potentials=True,
+                    )
+                else:
+                    path, _ = shortest_center_path(
+                        window_costs, vols[d] * dist, allowed=allowed
+                    )
                 if tracker is not None:
                     tracker.claim_path(path)
                 centers[d, from_window:] = path
+        meta = {
+            "from_window": from_window,
+            "n_node_faults": len(plan.node_faults),
+            "base_method": schedule.method,
+        }
+        if certify:
+            meta["certificate"] = _certificate(
+                potentials, masks, from_window=from_window, placement=placement
+            )
         return Schedule(
             centers=centers,
             windows=tensor.windows,
             method="GOMCDS+recovery",
-            meta={
-                "from_window": from_window,
-                "n_node_faults": len(plan.node_faults),
-                "base_method": schedule.method,
-            },
+            meta=meta,
         )

@@ -152,11 +152,21 @@ class Schedule:
                 )
             if len(np.unique(ids)) != len(ids):
                 raise ValueError("data_ids must not contain duplicates")
+        meta = dict(self.meta)
+        cert = meta.get("certificate")
+        if isinstance(cert, dict):
+            # keep per-datum certificate rows aligned with the new axis
+            cert = dict(cert)
+            for key in ("potentials", "totals", "masks", "placement"):
+                value = cert.get(key)
+                if value is not None:
+                    cert[key] = np.asarray(value)[ids]
+            meta["certificate"] = cert
         return Schedule(
             centers=self.centers[ids],
             windows=self.windows,
             method=self.method,
-            meta=dict(self.meta),
+            meta=meta,
         )
 
     @staticmethod

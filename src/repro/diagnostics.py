@@ -63,6 +63,20 @@ __all__ = [
     "RCV003",
     "RCV004",
     "DYNAMIC_CODES",
+    # static certifier codes (repro.verify, not lint rules)
+    "VER001",
+    "VER002",
+    "VER003",
+    "VER004",
+    "VER005",
+    "VER006",
+    "VER007",
+    "VER008",
+    "VER009",
+    "VER010",
+    "VER011",
+    "VERIFY_CODES",
+    "DIVERGENCE_CODES",
 ]
 
 # Residency: a datum must have exactly one valid center per window (Def. 3).
@@ -156,6 +170,56 @@ DYNAMIC_CODES = (
     OBS001, OBS002, REG001, REG002, REG003,
     RCV001, RCV002, RCV003, RCV004,
 )
+
+# -- certifier codes: emitted by the static analysis engine (repro.verify) --
+
+# Capacity overflow proven statically: the abstract occupancy of some
+# (window, processor) cell exceeds its memory capacity.
+VER001 = "VER001"
+# Unreachable placement: a scheduled center is outside the array, down in
+# its window, or no surviving route can realize a scheduled transfer.
+VER002 = "VER002"
+# Link hotspot: the statically derived volume on one directed mesh link
+# exceeds the configured per-link budget.
+VER003 = "VER003"
+# Dead data movement: a relocation that serves no reference before the
+# datum moves again and is strictly costlier than skipping the stop.
+VER004 = "VER004"
+# Optimality certificate missing or malformed (wrong shapes/fields, or a
+# mask that admits a processor the fault plan takes down).
+VER005 = "VER005"
+# Certificate potentials are dual-infeasible: some potential exceeds the
+# best incoming value, so they prove no lower bound at all.
+VER006 = "VER006"
+# Certificate is not tight: the schedule's actual cost disagrees with the
+# claimed total or exceeds the certified lower bound (not proven optimal).
+VER007 = "VER007"
+# Static/dynamic cost divergence: abstract interpretation, the analytic
+# evaluator and the replayed simulation disagree on cost totals.
+VER008 = "VER008"
+# Static/dynamic link divergence: statically derived per-window link
+# volumes disagree with the replay's SpatialTrace ground truth.
+VER009 = "VER009"
+# Delivery-accounting divergence: the replay's fetch/delivery counters
+# disagree with the statically predicted accounting identity.
+VER010 = "VER010"
+# Theory cross-check failure: certified placement-cost rows violate the
+# Lemma 1 / Theorem 2 structure (separable convexity along mesh axes).
+VER011 = "VER011"
+
+#: Codes produced by the static schedule certifier (``repro certify``);
+#: catalogued in ``docs/diagnostics.md`` and ``docs/certify.md``.  These
+#: are not lint rules: they come from abstract interpretation, certificate
+#: checking and the static-vs-dynamic differential gate.
+VERIFY_CODES = (
+    VER001, VER002, VER003, VER004, VER005, VER006,
+    VER007, VER008, VER009, VER010, VER011,
+)
+
+#: The certifier codes whose presence means the toolchain itself is
+#: suspect — a broken/forged certificate or a static-vs-dynamic
+#: divergence — surfaced as exit code 3 by ``repro certify``.
+DIVERGENCE_CODES = (VER005, VER006, VER007, VER008, VER009, VER010)
 
 
 class Severity(enum.IntEnum):

@@ -18,10 +18,19 @@ from .engine import (
     EXIT_ERRORS,
     EXIT_WARNINGS,
     LintReport,
+    dedupe_diagnostics,
     run_lint,
 )
+from .fixes import FIXABLE_CODES, Fix, FixOutcome, apply_fixes, render_diff
 from .loaders import load_context, workload_context
-from .output import SARIF_SCHEMA_URI, render_human, render_json, render_sarif
+from .output import (
+    SARIF_SCHEMA_URI,
+    render_human,
+    render_json,
+    render_sarif,
+    result_fingerprint,
+    sarif_document,
+)
 from .registry import RULES, Rule, resolve_codes
 from .schedule_rules import occupancy_overflows
 
@@ -42,6 +51,14 @@ __all__ = [
     "load_context",
     "workload_context",
     "occupancy_overflows",
+    "dedupe_diagnostics",
+    "result_fingerprint",
+    "sarif_document",
+    "Fix",
+    "FixOutcome",
+    "FIXABLE_CODES",
+    "apply_fixes",
+    "render_diff",
     "EXIT_CLEAN",
     "EXIT_WARNINGS",
     "EXIT_ERRORS",

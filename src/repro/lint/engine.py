@@ -26,6 +26,7 @@ from . import theory_rules  # noqa: F401
 __all__ = [
     "LintReport",
     "run_lint",
+    "dedupe_diagnostics",
     "EXIT_CLEAN",
     "EXIT_WARNINGS",
     "EXIT_ERRORS",
@@ -41,6 +42,35 @@ EXIT_ERRORS = 2
 MAX_DIAGNOSTICS_PER_RULE = 100
 
 
+def dedupe_diagnostics(
+    diagnostics: Iterable[Diagnostic],
+) -> list[Diagnostic]:
+    """Drop exact repeats, keeping first occurrences in order.
+
+    Identical findings arise when several loaders surface the same
+    artifact error (a trace archive failing both its trace and windows
+    checks the same way) or when loader failures are merged with rule
+    findings that re-derive them.  Diagnostics are frozen dataclasses,
+    so identity is plain equality of all fields.
+    """
+    seen: set[tuple] = set()
+    unique: list[Diagnostic] = []
+    for diag in diagnostics:
+        key = (
+            diag.code,
+            diag.severity,
+            diag.message,
+            diag.datum,
+            diag.window,
+            diag.processor,
+        )
+        if key in seen:
+            continue
+        seen.add(key)
+        unique.append(diag)
+    return unique
+
+
 @dataclass
 class LintReport:
     """Outcome of one lint run: findings plus which rules actually ran."""
@@ -51,6 +81,13 @@ class LintReport:
 
     def count(self, severity: Severity) -> int:
         return sum(1 for d in self.diagnostics if d.severity == severity)
+
+    def prepend(self, diagnostics: Iterable[Diagnostic]) -> None:
+        """Merge loader/context failures ahead of the rule findings,
+        dropping any finding a rule already re-derived identically."""
+        self.diagnostics = dedupe_diagnostics(
+            [*diagnostics, *self.diagnostics]
+        )
 
     @property
     def n_errors(self) -> int:

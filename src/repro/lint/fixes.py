@@ -1,0 +1,246 @@
+"""Safe auto-fixes for a subset of lint findings (``repro lint --fix``).
+
+A fix is *safe* when it cannot change what a correct run computes: it may
+only remove configuration that provably never takes effect (a fault
+activating beyond the horizon), clamp a tunable into its documented legal
+range (a checkpoint interval), or simplify a degenerate-but-legal shape
+(an execution window holding no references).  Anything whose repair
+requires a judgement call — a schedule placing data on a dead node, a
+capacity overflow — stays a diagnostic for a human.
+
+``apply_fixes`` mutates the :class:`~repro.lint.context.LintContext` in
+place and returns a record per change; the CLI renders those as a
+unified-diff-style preview (``--diff``) or writes the repaired artifacts
+back to their source files (``--fix``).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Callable, Iterable
+
+import numpy as np
+
+from ..diagnostics import FLT002, FLT007, TRC003, Diagnostic
+from ..faults import FaultPlan
+from ..trace import WindowSet
+from .context import LintContext
+
+__all__ = ["Fix", "FixOutcome", "FIXABLE_CODES", "apply_fixes", "render_diff"]
+
+
+@dataclass(frozen=True)
+class Fix:
+    """One applied repair: which rule, what changed, and how.
+
+    ``before``/``after`` are short human renderings of the touched part
+    of the artifact, consumed by the ``--diff`` preview.
+    """
+
+    code: str
+    artifact: str
+    description: str
+    before: str
+    after: str
+
+
+@dataclass
+class FixOutcome:
+    """Everything one ``apply_fixes`` pass changed."""
+
+    fixes: list[Fix] = field(default_factory=list)
+    #: context attribute names that now hold repaired artifacts
+    modified: set[str] = field(default_factory=set)
+
+    @property
+    def n_fixed(self) -> int:
+        return len(self.fixes)
+
+
+def _fix_horizon_faults(
+    context: LintContext, diagnostics: list[Diagnostic]
+) -> list[Fix]:
+    """FLT002: drop faults that activate beyond the window horizon.
+
+    Such faults provably never take effect — every replay and reschedule
+    indexes the plan only by windows in ``[0, n_windows)`` — so removing
+    them is behavior-preserving.
+    """
+    horizon = context.n_windows
+    if context.faults is None or horizon is None:
+        return []
+    plan = context.faults
+    keep_nodes = tuple(f for f in plan.node_faults if f.start < horizon)
+    keep_links = tuple(f for f in plan.link_faults if f.start < horizon)
+    dropped = [
+        f
+        for f in (*plan.node_faults, *plan.link_faults)
+        if f.start >= horizon
+    ]
+    if not dropped:
+        return []
+    context.faults = FaultPlan(
+        node_faults=keep_nodes,
+        link_faults=keep_links,
+        drop_rate=plan.drop_rate,
+        seed=plan.seed,
+    )
+    return [
+        Fix(
+            code=FLT002,
+            artifact="faults",
+            description=(
+                f"dropped {len(dropped)} fault(s) activating at or beyond "
+                f"the {horizon}-window horizon"
+            ),
+            before="\n".join(str(f) for f in dropped),
+            after="(removed: can never take effect)",
+        )
+    ]
+
+
+def _fix_checkpoint_interval(
+    context: LintContext, diagnostics: list[Diagnostic]
+) -> list[Fix]:
+    """FLT007: clamp the recovery checkpoint interval into ``[1, horizon]``.
+
+    The legal range is exactly what :meth:`RecoveryPolicy
+    .config_violations` enforces; clamping to the nearest bound is the
+    minimal change that satisfies it.
+    """
+    policy = context.recovery
+    if policy is None:
+        return []
+    interval = policy.checkpoint_interval
+    horizon = context.n_windows
+    clamped = max(1, interval)
+    if horizon is not None:
+        clamped = min(clamped, horizon)
+    if clamped == interval:
+        return []
+    context.recovery = dataclasses.replace(
+        policy, checkpoint_interval=clamped
+    )
+    return [
+        Fix(
+            code=FLT007,
+            artifact="recovery",
+            description="clamped the checkpoint interval into its legal range",
+            before=f"checkpoint_interval: {interval}",
+            after=f"checkpoint_interval: {clamped}",
+        )
+    ]
+
+
+def _fix_empty_windows(
+    context: LintContext, diagnostics: list[Diagnostic]
+) -> list[Fix]:
+    """TRC003: merge windows holding no references into a neighbor.
+
+    Dropping an empty window removes its (unused) scheduling column: no
+    fetch is served there, and any relocation it staged is subsumed by
+    the direct move into the next kept window, so cost can only stay or
+    shrink.  Skipped when a fault plan is present — fault activation is
+    indexed by window, and renumbering under it is not a safe rewrite.
+    """
+    trace, windows = context.trace, context.windows
+    if trace is None or windows is None:
+        return []
+    if windows.n_steps != trace.n_steps:
+        return []  # TRC002 territory; merging would renumber garbage
+    if context.faults is not None and (
+        context.faults.node_faults or context.faults.link_faults
+    ):
+        return []
+    populated = np.zeros(windows.n_windows, dtype=bool)
+    populated[np.unique(windows.assign(trace.steps))] = True
+    if populated.all() or not populated.any():
+        return []  # nothing to merge / degenerate empty trace
+    keep = populated.copy()
+    starts = windows.starts[keep]
+    starts[0] = 0  # an empty leading window folds into its successor
+    context.windows = WindowSet(starts=starts, n_steps=windows.n_steps)
+    fixes = [
+        Fix(
+            code=TRC003,
+            artifact="windows",
+            description=(
+                f"merged {int((~populated).sum())} empty window(s) into "
+                "their neighbors"
+            ),
+            before=f"windows: {windows.n_windows} "
+            f"(empty: {[int(w) for w in np.nonzero(~populated)[0]]})",
+            after=f"windows: {context.windows.n_windows}",
+        )
+    ]
+    schedule = context.schedule
+    if schedule is not None and schedule.n_windows == windows.n_windows:
+        meta = {
+            k: v for k, v in schedule.meta.items() if k != "certificate"
+        }  # column surgery invalidates any attached optimality proof
+        context.schedule = dataclasses.replace(
+            schedule,
+            centers=schedule.centers[:, keep],
+            windows=context.windows,
+            meta=meta,
+        )
+        fixes.append(
+            Fix(
+                code=TRC003,
+                artifact="schedule",
+                description="dropped the schedule columns of the merged windows",
+                before=f"centers: {schedule.centers.shape}",
+                after=f"centers: {context.schedule.centers.shape}",
+            )
+        )
+    context._tensor = None  # windows changed; rebuild on demand
+    return fixes
+
+
+#: code -> fixer; iteration order is application order (horizon cleanup
+#: first, so the empty-window fixer sees the final fault plan).
+FIXERS: dict[str, Callable[[LintContext, list[Diagnostic]], list[Fix]]] = {
+    FLT002: _fix_horizon_faults,
+    FLT007: _fix_checkpoint_interval,
+    TRC003: _fix_empty_windows,
+}
+
+FIXABLE_CODES = tuple(FIXERS)
+
+
+def apply_fixes(
+    context: LintContext,
+    diagnostics: Iterable[Diagnostic],
+    select: Iterable[str] | None = None,
+) -> FixOutcome:
+    """Apply every registered fixer whose rule produced a finding.
+
+    ``select`` restricts to a subset of :data:`FIXABLE_CODES`.  The
+    context is mutated in place; re-run the lint afterwards to confirm
+    the findings cleared.
+    """
+    by_code: dict[str, list[Diagnostic]] = {}
+    for diag in diagnostics:
+        by_code.setdefault(diag.code, []).append(diag)
+    enabled = set(FIXABLE_CODES if select is None else select)
+    outcome = FixOutcome()
+    for code, fixer in FIXERS.items():
+        if code not in enabled or code not in by_code:
+            continue
+        fixes = fixer(context, by_code[code])
+        outcome.fixes.extend(fixes)
+        outcome.modified.update(fix.artifact for fix in fixes)
+    return outcome
+
+
+def render_diff(outcome: FixOutcome) -> str:
+    """Unified-diff-style preview of what ``--fix`` would change."""
+    if not outcome.fixes:
+        return "no applicable fixes"
+    lines: list[str] = []
+    for fix in outcome.fixes:
+        lines.append(f"--- {fix.artifact} [{fix.code}] {fix.description}")
+        lines.extend(f"- {line}" for line in fix.before.splitlines())
+        lines.extend(f"+ {line}" for line in fix.after.splitlines())
+    return "\n".join(lines)

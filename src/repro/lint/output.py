@@ -5,17 +5,30 @@ code scanning and most SARIF viewers consume: one run, one tool driver
 carrying the rule catalogue, one result per diagnostic with the finding's
 coordinates encoded as a logical location (schedules have no file/line;
 ``datum/3/window/2`` is the natural address space here).
+
+The document builder (:func:`sarif_document`) and the stable result
+fingerprint (:func:`result_fingerprint`) are shared with the certifier's
+renderers (:mod:`repro.verify.output`), so every tool in the repo emits
+one SARIF dialect.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
 
-from ..diagnostics import Severity
+from ..diagnostics import Diagnostic, Severity
 from .engine import LintReport
 from .registry import RULES
 
-__all__ = ["render_human", "render_json", "render_sarif", "SARIF_SCHEMA_URI"]
+__all__ = [
+    "render_human",
+    "render_json",
+    "render_sarif",
+    "sarif_document",
+    "result_fingerprint",
+    "SARIF_SCHEMA_URI",
+]
 
 SARIF_SCHEMA_URI = (
     "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
@@ -27,6 +40,64 @@ _SARIF_LEVELS = {
     Severity.WARNING: "warning",
     Severity.INFO: "note",
 }
+
+
+def result_fingerprint(diag: Diagnostic) -> str:
+    """Stable fingerprint of a diagnostic for SARIF ``partialFingerprints``.
+
+    Derived only from the code, the logical location and the message, so
+    re-running the same analysis yields byte-identical fingerprints and
+    CI annotation UIs deduplicate findings across runs instead of piling
+    up copies.
+    """
+    basis = "|".join((diag.code, diag.location, diag.message))
+    return hashlib.sha256(basis.encode("utf-8")).hexdigest()[:32]
+
+
+def sarif_document(
+    tool_name: str,
+    information_uri: str,
+    rules: list[dict],
+    diagnostics: list[Diagnostic],
+) -> dict:
+    """One-run SARIF 2.1.0 document over coded diagnostics."""
+    results = [
+        {
+            "ruleId": diag.code,
+            "level": _SARIF_LEVELS[diag.severity],
+            "message": {"text": diag.message},
+            "locations": [
+                {
+                    "logicalLocations": [
+                        {
+                            "fullyQualifiedName": diag.location,
+                            "kind": "member",
+                        }
+                    ]
+                }
+            ],
+            "partialFingerprints": {
+                "reproDiagnostic/v1": result_fingerprint(diag)
+            },
+        }
+        for diag in diagnostics
+    ]
+    return {
+        "$schema": SARIF_SCHEMA_URI,
+        "version": "2.1.0",
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": tool_name,
+                        "informationUri": information_uri,
+                        "rules": rules,
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }
 
 
 def render_human(report: LintReport) -> str:
@@ -62,38 +133,10 @@ def render_sarif(report: LintReport) -> str:
         }
         for rule in RULES.values()
     ]
-    results = [
-        {
-            "ruleId": diag.code,
-            "level": _SARIF_LEVELS[diag.severity],
-            "message": {"text": diag.message},
-            "locations": [
-                {
-                    "logicalLocations": [
-                        {
-                            "fullyQualifiedName": diag.location,
-                            "kind": "member",
-                        }
-                    ]
-                }
-            ],
-        }
-        for diag in report.diagnostics
-    ]
-    document = {
-        "$schema": SARIF_SCHEMA_URI,
-        "version": "2.1.0",
-        "runs": [
-            {
-                "tool": {
-                    "driver": {
-                        "name": "repro-lint",
-                        "informationUri": "https://example.invalid/repro/docs/lint.md",
-                        "rules": rules,
-                    }
-                },
-                "results": results,
-            }
-        ],
-    }
+    document = sarif_document(
+        "repro-lint",
+        "https://example.invalid/repro/docs/lint.md",
+        rules,
+        report.diagnostics,
+    )
     return json.dumps(document, indent=2)

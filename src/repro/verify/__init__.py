@@ -1,0 +1,57 @@
+"""Static schedule certifier: prove it before you run it.
+
+Three pillars over ``Schedule``/``WindowSet``/``FaultPlan`` (see
+``docs/certify.md``):
+
+1. an **abstract interpreter** (:mod:`.abstract`) deriving per-datum
+   residency live-ranges, per-processor occupancy and exact per-link
+   x-y traffic — emitting ``VER001``–``VER004``;
+2. a **certificate checker** (:mod:`.certificate`) verifying the
+   shortest-path potential certificates GOMCDS and the fault-aware
+   reschedulers emit with ``certify=True`` — ``VER005``–``VER007`` and
+   the ``VER011`` theory cross-check;
+3. a **differential gate** (:mod:`.differential`) comparing every
+   static prediction against replayed ground truth —
+   ``VER008``–``VER010``.
+
+``repro certify`` surfaces the stack on the CLI with exit codes
+0 (clean) / 1 (warnings) / 2 (static errors) / 3 (divergence).
+"""
+
+from .abstract import StaticPrediction, interpret_schedule
+from .certificate import certificate_of, check_certificate
+from .differential import run_differential
+from .engine import (
+    EXIT_CERT_CLEAN,
+    EXIT_CERT_DIVERGENCE,
+    EXIT_CERT_ERRORS,
+    EXIT_CERT_WARNINGS,
+    CertifyReport,
+    certify_schedule,
+    certify_workload,
+)
+from .output import (
+    VERIFY_RULE_TITLES,
+    render_certify_human,
+    render_certify_json,
+    render_certify_sarif,
+)
+
+__all__ = [
+    "StaticPrediction",
+    "interpret_schedule",
+    "check_certificate",
+    "certificate_of",
+    "run_differential",
+    "CertifyReport",
+    "certify_schedule",
+    "certify_workload",
+    "EXIT_CERT_CLEAN",
+    "EXIT_CERT_WARNINGS",
+    "EXIT_CERT_ERRORS",
+    "EXIT_CERT_DIVERGENCE",
+    "render_certify_human",
+    "render_certify_json",
+    "render_certify_sarif",
+    "VERIFY_RULE_TITLES",
+]

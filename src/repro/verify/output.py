@@ -1,0 +1,108 @@
+"""Renderers for certify reports: human text, JSON, and SARIF 2.1.0.
+
+The SARIF path reuses the lint renderers' document builder and stable
+result fingerprints (:func:`repro.lint.output.sarif_document`), so the
+certifier and the linter speak one dialect and CI annotation UIs can
+deduplicate findings across both tools.
+"""
+
+from __future__ import annotations
+
+import json
+
+from ..diagnostics import (
+    VER001,
+    VER002,
+    VER003,
+    VER004,
+    VER005,
+    VER006,
+    VER007,
+    VER008,
+    VER009,
+    VER010,
+    VER011,
+    Severity,
+)
+from ..lint.output import sarif_document
+from .engine import CertifyReport
+
+__all__ = [
+    "render_certify_human",
+    "render_certify_json",
+    "render_certify_sarif",
+    "VERIFY_RULE_TITLES",
+]
+
+#: SARIF rule metadata for the certifier's code universe.
+VERIFY_RULE_TITLES: dict[str, tuple[str, Severity]] = {
+    VER001: ("abstract occupancy exceeds capacity", Severity.ERROR),
+    VER002: ("unreachable placement", Severity.ERROR),
+    VER003: ("link volume above budget", Severity.WARNING),
+    VER004: ("dead data movement", Severity.WARNING),
+    VER005: ("certificate missing or malformed", Severity.ERROR),
+    VER006: ("certificate dual-infeasible", Severity.ERROR),
+    VER007: ("certificate not tight", Severity.ERROR),
+    VER008: ("static/dynamic cost divergence", Severity.ERROR),
+    VER009: ("static/dynamic link-volume divergence", Severity.ERROR),
+    VER010: ("delivery-accounting divergence", Severity.ERROR),
+    VER011: ("theory cross-check failed", Severity.WARNING),
+}
+
+_SARIF_LEVELS = {
+    Severity.ERROR: "error",
+    Severity.WARNING: "warning",
+    Severity.INFO: "note",
+}
+
+
+def render_certify_human(report: CertifyReport) -> str:
+    """Multi-line human rendering: facts, findings, verdict."""
+    lines = [f"certify: {report.label}"]
+    lines.append(f"checks: {', '.join(report.checks) or 'none'}")
+    static = report.facts.get("static")
+    if static:
+        lines.append(
+            f"static:  total={static['total']:g} "
+            f"(reference={static['reference_cost']:g}, "
+            f"movement={static['movement_cost']:g})"
+        )
+    replay = report.facts.get("replay")
+    if replay:
+        lines.append(
+            f"dynamic: total={replay.get('total_cost', 0.0):g}, "
+            f"delivered {replay.get('n_delivered', 0)}/"
+            f"{replay.get('n_fetches', 0)} references"
+        )
+    if report.certified_data:
+        lines.append(
+            f"certificates: {report.certified_data} center path(s) "
+            "proven optimal"
+        )
+    for diag in report.diagnostics:
+        lines.append(diag.render())
+    lines.append(report.summary())
+    return "\n".join(lines)
+
+
+def render_certify_json(report: CertifyReport) -> str:
+    return json.dumps(report.to_dict(), indent=2)
+
+
+def render_certify_sarif(report: CertifyReport) -> str:
+    rules = [
+        {
+            "id": code,
+            "name": title,
+            "shortDescription": {"text": title},
+            "defaultConfiguration": {"level": _SARIF_LEVELS[severity]},
+        }
+        for code, (title, severity) in VERIFY_RULE_TITLES.items()
+    ]
+    document = sarif_document(
+        "repro-certify",
+        "https://example.invalid/repro/docs/certify.md",
+        rules,
+        report.diagnostics,
+    )
+    return json.dumps(document, indent=2)

@@ -1,0 +1,132 @@
+"""Certificate checking: clean proofs verify; every tamper direction is
+caught by its own code."""
+
+import copy
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    CostModel,
+    gomcds,
+    reschedule_around_faults,
+    reschedule_from_window,
+)
+from repro.diagnostics import VER005, VER006, VER007, Severity
+from repro.faults import FaultPlan, NodeFault
+from repro.mem import CapacityPlan
+from repro.verify import certificate_of, check_certificate
+from repro.workloads import benchmark
+
+
+@pytest.fixture
+def certified(mesh44):
+    wl = benchmark(1, 8, mesh44)
+    tensor = wl.reference_tensor()
+    model = CostModel(mesh44)
+    capacity = CapacityPlan.paper_rule(wl.n_data, mesh44.n_procs, 2.0)
+    schedule = gomcds(tensor, model, capacity, certify=True)
+    return tensor, model, capacity, schedule
+
+
+def _codes(diags):
+    return {d.code for d in diags}
+
+
+def test_clean_certificate_verifies(certified):
+    tensor, model, _, schedule = certified
+    cert = certificate_of(schedule)
+    assert cert is not None and cert["kind"] == "gomcds-potentials"
+    diags = check_certificate(schedule, tensor, model)
+    assert not [d for d in diags if d.severity == Severity.ERROR]
+
+
+def test_uncertified_schedule_is_silent_unless_required(certified):
+    tensor, model, capacity, _ = certified
+    plain = gomcds(tensor, model, capacity)
+    assert certificate_of(plain) is None
+    assert check_certificate(plain, tensor, model) == []
+    required = check_certificate(plain, tensor, model, require=True)
+    assert _codes(required) == {VER005}
+
+
+def test_inflated_potential_is_dual_infeasible(certified):
+    tensor, model, _, schedule = certified
+    bad = dataclasses.replace(schedule, meta=copy.deepcopy(schedule.meta))
+    bad.meta["certificate"]["potentials"][0, 2, :] += 3.0
+    assert VER006 in _codes(check_certificate(bad, tensor, model))
+
+
+def test_deflated_bound_is_not_tight(certified):
+    tensor, model, _, schedule = certified
+    bad = dataclasses.replace(schedule, meta=copy.deepcopy(schedule.meta))
+    cert = bad.meta["certificate"]
+    cert["potentials"][0, -1, :] -= 5.0
+    cert["totals"] = cert["potentials"][:, -1, :].min(axis=1)
+    assert VER007 in _codes(check_certificate(bad, tensor, model))
+
+
+def test_perturbed_center_breaks_tightness(certified):
+    tensor, model, _, schedule = certified
+    centers = schedule.centers.copy()
+    centers[0, 1] = (centers[0, 1] + 7) % model.topology.n_procs
+    bad = dataclasses.replace(schedule, centers=centers)
+    assert VER007 in _codes(check_certificate(bad, tensor, model))
+
+
+def test_malformed_certificate_is_ver005(certified):
+    tensor, model, _, schedule = certified
+    bad = dataclasses.replace(schedule, meta=copy.deepcopy(schedule.meta))
+    bad.meta["certificate"]["potentials"] = np.zeros((2, 2))
+    diags = check_certificate(bad, tensor, model)
+    assert _codes(diags) == {VER005}
+    garbage = dataclasses.replace(schedule, meta={"certificate": "yes"})
+    assert _codes(check_certificate(garbage, tensor, model)) == {VER005}
+
+
+def test_faulted_certificates_verify(certified, mesh44):
+    tensor, model, capacity, _ = certified
+    plan = FaultPlan(node_faults=(NodeFault(pid=5, start=2),))
+    schedule = reschedule_around_faults(
+        tensor, model, plan, capacity, certify=True
+    )
+    diags = check_certificate(schedule, tensor, model, faults=plan)
+    assert not [d for d in diags if d.severity == Severity.ERROR]
+
+
+def test_mask_admitting_dead_node_is_ver005(certified, mesh44):
+    tensor, model, capacity, _ = certified
+    plan = FaultPlan(node_faults=(NodeFault(pid=5, start=0),))
+    schedule = reschedule_around_faults(
+        tensor, model, plan, capacity, certify=True
+    )
+    bad = dataclasses.replace(schedule, meta=copy.deepcopy(schedule.meta))
+    bad.meta["certificate"]["masks"][:, :, 5] = True  # pid 5 is down
+    assert VER005 in _codes(
+        check_certificate(bad, tensor, model, faults=plan)
+    )
+
+
+def test_suffix_certificate_verifies(certified):
+    tensor, model, capacity, schedule = certified
+    plan = FaultPlan(node_faults=(NodeFault(pid=5, start=2),))
+    suffix = reschedule_from_window(
+        schedule, tensor, model, plan, from_window=2, capacity=capacity,
+        certify=True,
+    )
+    cert = certificate_of(suffix)
+    assert cert is not None and cert["from_window"] == 2
+    diags = check_certificate(suffix, tensor, model, faults=plan)
+    assert not [d for d in diags if d.severity == Severity.ERROR]
+
+
+def test_restricted_to_keeps_certificate_consistent(certified):
+    tensor, model, _, schedule = certified
+    from repro.trace import ReferenceTensor
+
+    ids = [0, 3, 5]
+    sub = schedule.restricted_to(ids)
+    subtensor = ReferenceTensor(tensor.counts[ids], tensor.windows)
+    diags = check_certificate(sub, subtensor, model)
+    assert not [d for d in diags if d.severity == Severity.ERROR]

@@ -1,0 +1,89 @@
+"""The static-vs-dynamic gate: agreement on every benchmark, coded
+divergence when the static prediction is wrong."""
+
+import dataclasses
+
+import pytest
+
+from repro.core import CostModel, gomcds, reschedule_around_faults
+from repro.diagnostics import VER008, VER009, VER010, Severity
+from repro.faults import FaultPlan, NodeFault
+from repro.mem import CapacityPlan
+from repro.verify import interpret_schedule, run_differential
+from repro.workloads import benchmark
+
+
+def _setup(bench, mesh, faults=None):
+    wl = benchmark(bench, 8, mesh)
+    tensor = wl.reference_tensor()
+    model = CostModel(mesh)
+    capacity = CapacityPlan.paper_rule(wl.n_data, mesh.n_procs, 2.0)
+    if faults is not None:
+        schedule = reschedule_around_faults(tensor, model, faults, capacity)
+    else:
+        schedule = gomcds(tensor, model, capacity)
+    prediction, diags = interpret_schedule(
+        schedule, tensor, model, trace=wl.trace,
+        capacity=None if faults is not None else capacity, faults=faults,
+    )
+    assert not [d for d in diags if d.severity == Severity.ERROR]
+    return wl, tensor, model, capacity, schedule, prediction
+
+
+@pytest.mark.parametrize("bench", [1, 2, 3, 4, 5])
+def test_every_benchmark_agrees(bench, mesh44):
+    wl, tensor, model, capacity, schedule, prediction = _setup(bench, mesh44)
+    diags, facts = run_differential(
+        schedule, wl.trace, tensor, model, prediction, capacity=capacity
+    )
+    assert diags == []
+    assert facts["replay"]["n_delivered"] == prediction.n_delivered
+
+
+def test_faulted_scenario_agrees(mesh44):
+    plan = FaultPlan(node_faults=(NodeFault(pid=5, start=2),))
+    wl, tensor, model, capacity, schedule, prediction = _setup(
+        1, mesh44, faults=plan
+    )
+    diags, facts = run_differential(
+        schedule, wl.trace, tensor, model, prediction, faults=plan
+    )
+    assert diags == []
+    assert facts["static"]["faulted"] is True
+
+
+def test_wrong_cost_prediction_is_ver008(mesh44):
+    wl, tensor, model, capacity, schedule, prediction = _setup(1, mesh44)
+    lying = dataclasses.replace(
+        prediction, reference_cost=prediction.reference_cost + 1.0
+    )
+    diags, _ = run_differential(
+        schedule, wl.trace, tensor, model, lying, capacity=capacity
+    )
+    assert any(d.code == VER008 for d in diags)
+
+
+def test_wrong_link_volume_is_ver009(mesh44):
+    wl, tensor, model, capacity, schedule, prediction = _setup(1, mesh44)
+    window_links = [dict(links) for links in prediction.window_links]
+    for links in window_links:
+        if links:
+            first = next(iter(links))
+            links[first] += 2.0
+            break
+    lying = dataclasses.replace(prediction, window_links=window_links)
+    diags, _ = run_differential(
+        schedule, wl.trace, tensor, model, lying, capacity=capacity
+    )
+    assert any(d.code == VER009 for d in diags)
+
+
+def test_wrong_accounting_is_ver010(mesh44):
+    wl, tensor, model, capacity, schedule, prediction = _setup(1, mesh44)
+    lying = dataclasses.replace(
+        prediction, n_delivered=prediction.n_delivered - 1
+    )
+    diags, _ = run_differential(
+        schedule, wl.trace, tensor, model, lying, capacity=capacity
+    )
+    assert any(d.code == VER010 for d in diags)
