@@ -19,7 +19,8 @@ from repro.analysis import (
     render_table,
     run_extended_table,
 )
-from repro.core import gomcds, omcds, refine_schedule, replicated_scds, scds
+from repro import schedule
+from repro.core import refine_schedule, replicated_scds
 from repro.sim import estimate_execution_time
 
 
@@ -132,23 +133,23 @@ def bench_refine_runtime(benchmark, instances):
 
     inst = instances(5, 16)
     tight = CapacityPlan.paper_rule(inst.workload.n_data, 16, multiplier=1.0)
-    schedule = gomcds(inst.tensor, inst.model, tight)
+    sched = schedule(inst.tensor, inst.model, algorithm="gomcds", capacity=tight)
 
     def run():
-        return refine_schedule(schedule, inst.tensor, inst.model, tight)
+        return refine_schedule(sched, inst.tensor, inst.model, tight)
 
     result = benchmark(run)
     assert result.final_cost <= result.initial_cost
 
 
-@pytest.mark.parametrize("name,fn", [("SCDS", scds), ("GOMCDS", gomcds)])
-def bench_makespan_estimate(benchmark, instances, name, fn):
+@pytest.mark.parametrize("name", ["SCDS", "GOMCDS"])
+def bench_makespan_estimate(benchmark, instances, name):
     """Time the makespan estimator on 16x16 benchmark 5 schedules."""
     inst = instances(5, 16)
-    schedule = fn(inst.tensor, inst.model, inst.capacity)
+    sched = schedule(inst.tensor, inst.model, algorithm=name, capacity=inst.capacity)
 
     def run():
-        return estimate_execution_time(inst.workload.trace, schedule, inst.model)
+        return estimate_execution_time(inst.workload.trace, sched, inst.model)
 
     report = benchmark(run)
     print(
@@ -163,10 +164,10 @@ def bench_omcds_runtime(benchmark, instances):
     inst = instances(3, 32)
 
     def run():
-        return omcds(inst.tensor, inst.model, inst.capacity)
+        return schedule(inst.tensor, inst.model, algorithm="omcds", capacity=inst.capacity)
 
-    schedule = benchmark(run)
-    assert schedule.n_data == 1024
+    sched = benchmark(run)
+    assert sched.n_data == 1024
 
 
 def bench_replication_runtime(benchmark, instances):
@@ -185,13 +186,13 @@ def bench_network_simulation(benchmark, instances):
     from repro.sim import estimate_execution_time, simulate_schedule_network
 
     inst = instances(5, 16)
-    schedule = gomcds(inst.tensor, inst.model, inst.capacity)
+    sched = schedule(inst.tensor, inst.model, algorithm="gomcds", capacity=inst.capacity)
 
     def run():
-        return simulate_schedule_network(inst.workload.trace, schedule, inst.model)
+        return simulate_schedule_network(inst.workload.trace, sched, inst.model)
 
     report = benchmark(run)
-    bound = estimate_execution_time(inst.workload.trace, schedule, inst.model)
+    bound = estimate_execution_time(inst.workload.trace, sched, inst.model)
     print(
         f"\n  measured drain {report.total_cycles:.0f} cycles vs analytic "
         f"link bound {bound.fetch_comm_time.sum() + bound.move_comm_time.sum():.0f}"

@@ -9,7 +9,8 @@ buys back.  Run with ``pytest benchmarks/bench_faults.py --benchmark-only -s``.
 import pytest
 
 from repro.analysis import fault_sweep
-from repro.core import gomcds, reschedule_around_faults
+from repro import schedule
+from repro.core import reschedule_around_faults
 from repro.faults import FaultPlan
 from repro.sim import replay_schedule
 
@@ -44,7 +45,7 @@ def bench_fault_sweep(benchmark, instances):
 def bench_fault_replay_overhead(benchmark, instances):
     """Overhead of the degraded replay loop vs the vectorized exact path."""
     inst = instances(1, 16)
-    schedule = gomcds(inst.tensor, inst.model, inst.capacity)
+    sched = schedule(inst.tensor, inst.model, algorithm="gomcds", capacity=inst.capacity)
     plan = FaultPlan.random(
         inst.topology, inst.tensor.n_windows, node_rate=0.2, seed=3
     )
@@ -52,7 +53,7 @@ def bench_fault_replay_overhead(benchmark, instances):
     def run():
         return replay_schedule(
             inst.workload.trace,
-            schedule,
+            sched,
             inst.model,
             capacity=inst.capacity,
             faults=plan,
@@ -69,16 +70,16 @@ def bench_reschedule_around_faults(benchmark, instances, node_rate):
     plan = FaultPlan.random(
         inst.topology, inst.tensor.n_windows, node_rate=node_rate, seed=3
     )
-    schedule = benchmark(
+    sched = benchmark(
         reschedule_around_faults, inst.tensor, inst.model, plan, inst.capacity
     )
     degraded = replay_schedule(
-        inst.workload.trace, schedule, inst.model,
+        inst.workload.trace, sched, inst.model,
         capacity=inst.capacity, faults=plan,
     )
     naive = replay_schedule(
         inst.workload.trace,
-        gomcds(inst.tensor, inst.model, inst.capacity),
+        schedule(inst.tensor, inst.model, algorithm="gomcds", capacity=inst.capacity),
         inst.model,
         capacity=inst.capacity,
         faults=plan,

@@ -7,8 +7,8 @@ the array — and the same qualitative outcome: the three schedulers pick
 different centers with ``GOMCDS < LOMCDS < SCDS`` total cost.
 """
 
+from repro import schedule
 from repro.analysis import figure1_instance, run_figure1
-from repro.core import gomcds
 
 
 def bench_figure1_walkthrough(benchmark):
@@ -24,4 +24,4 @@ def bench_figure1_walkthrough(benchmark):
 def bench_figure1_cost_graph(benchmark):
     """Time Algorithm 2 (the cost-graph shortest path) on the example."""
     tensor, model, _topo = figure1_instance()
-    benchmark(gomcds, tensor, model)
+    benchmark(schedule, tensor, model, algorithm="gomcds")

@@ -35,12 +35,22 @@ def run(
     repeats: int = 3,
     seed: int = 1998,
     max_overhead_pct: float | None = None,
+    include_batch: bool = False,
 ) -> int:
     report = run_bench_suite(
-        mesh=mesh, size=size, benchmarks=benchmarks, repeats=repeats, seed=seed
+        mesh=mesh, size=size, benchmarks=benchmarks, repeats=repeats,
+        seed=seed, include_batch=include_batch,
     )
     out.write_text(json.dumps(report, indent=2) + "\n")
     print(f"wrote {out}")
+    if include_batch:
+        batch = report["batch_gomcds"]
+        print(
+            f"batched GOMCDS suite: sequential scalar "
+            f"{batch['sequential_python_median_s']:.4f}s vs batched numpy "
+            f"{batch['batch_numpy_median_s']:.4f}s "
+            f"({batch['speedup']:.1f}x speedup)"
+        )
     overhead = report["noop_overhead"]
     print(
         f"no-op instrumentation overhead on replay (medians): "
@@ -76,6 +86,11 @@ def main(argv: list[str] | None = None) -> int:
         "--max-overhead-pct", type=float, default=None,
         help="exit 1 if the no-op probe overhead exceeds this percentage",
     )
+    parser.add_argument(
+        "--include-batch", action="store_true",
+        help="record the batched-vs-sequential GOMCDS engine speedup "
+        "in a batch_gomcds block",
+    )
     args = parser.parse_args(argv)
     return run(
         out=args.out,
@@ -85,6 +100,7 @@ def main(argv: list[str] | None = None) -> int:
         repeats=args.repeats,
         seed=args.seed,
         max_overhead_pct=args.max_overhead_pct,
+        include_batch=args.include_batch,
     )
 
 

@@ -4,14 +4,27 @@ Pure performance benches (no table regeneration): how each algorithm's
 wall time grows along the three problem axes.  GOMCDS is O(D·W·m²) —
 vectorized across data when unconstrained — so the array-size axis is
 its steepest; SCDS is one matmul + argmin and should stay near-flat.
+
+The batch benches time the engine itself: one ``schedule_many`` fan-out
+of the GOMCDS suite (vectorized numpy kernels, shared solve cache)
+against the sequential scalar-kernel baseline — the two produce
+bit-identical schedules, so the ratio is pure engine speedup.
+
+Run as a script to gate that speedup in CI::
+
+    python benchmarks/bench_scalability.py --size 8 --min-speedup 3
 """
 
 import pytest
 
-from repro.core import CostModel, gomcds, grouped_schedule, lomcds, scds
+from repro import ScheduleRequest, schedule, schedule_many
+from repro.core import CostModel, grouped_schedule
 from repro.grid import Mesh2D
+from repro.mem import CapacityPlan
 from repro.trace import build_reference_tensor, windows_by_step_count
 from repro.workloads import benchmark as make_benchmark
+
+SCHEDULER_NAMES = ("SCDS", "LOMCDS", "GOMCDS")
 
 
 def _instance(n=16, mesh=(4, 4), bench=5, spw=None):
@@ -26,29 +39,135 @@ def _instance(n=16, mesh=(4, 4), bench=5, spw=None):
     return tensor, CostModel(topo)
 
 
+def _suite_requests(n=16, mesh=(4, 4), benchmarks=(1, 2, 3, 4, 5)):
+    """One capacity-constrained GOMCDS request per paper benchmark."""
+    topo = Mesh2D(*mesh)
+    model = CostModel(topo)
+    requests = []
+    for bench in benchmarks:
+        wl = make_benchmark(bench, n, topo)
+        tensor = build_reference_tensor(wl.trace, wl.windows)
+        capacity = CapacityPlan.paper_rule(wl.n_data, topo.n_procs)
+        requests.append(
+            ScheduleRequest(
+                tensor, model, capacity=capacity, algorithm="gomcds",
+                label=f"bench{bench}",
+            )
+        )
+    return requests, model
+
+
 @pytest.mark.parametrize("n", [8, 16, 32])
-@pytest.mark.parametrize("name,fn", [("SCDS", scds), ("LOMCDS", lomcds), ("GOMCDS", gomcds)])
-def bench_scaling_data_size(benchmark, name, fn, n):
+@pytest.mark.parametrize("name", SCHEDULER_NAMES)
+def bench_scaling_data_size(benchmark, name, n):
     """Runtime vs datum count (n^2 data) on benchmark 5, unconstrained."""
     tensor, model = _instance(n=n)
-    benchmark(fn, tensor, model)
+    benchmark(schedule, tensor, model, algorithm=name)
 
 
 @pytest.mark.parametrize("mesh", [(2, 2), (4, 4), (8, 8)])
 def bench_scaling_array_size(benchmark, mesh):
     """GOMCDS runtime vs processor count (m^2 DP transitions)."""
     tensor, model = _instance(n=16, mesh=mesh)
-    benchmark(gomcds, tensor, model)
+    benchmark(schedule, tensor, model, algorithm="gomcds")
 
 
 @pytest.mark.parametrize("spw", [1, 4, 16])
 def bench_scaling_window_count(benchmark, spw):
     """GOMCDS runtime vs window count (DP depth)."""
     tensor, model = _instance(n=16, spw=spw)
-    benchmark(gomcds, tensor, model)
+    benchmark(schedule, tensor, model, algorithm="gomcds")
 
 
 def bench_grouping_scaling(benchmark):
     """Algorithm 3 on the finest windows (worst case for the greedy loop)."""
     tensor, model = _instance(n=16, spw=1)
     benchmark(grouped_schedule, tensor, model)
+
+
+def bench_batch_gomcds_suite(benchmark):
+    """The batched numpy GOMCDS suite (the engine's fast path)."""
+    requests, _ = _suite_requests(n=8)
+    benchmark(schedule_many, requests, workers=1, kernel="numpy")
+
+
+def bench_sequential_scalar_suite(benchmark):
+    """The same suite, sequential scalar kernels (the reference path)."""
+    requests, model = _suite_requests(n=8)
+
+    def run():
+        return [
+            schedule(
+                r.tensor, model, algorithm="gomcds", capacity=r.capacity,
+                kernel="python",
+            )
+            for r in requests
+        ]
+
+    benchmark(run)
+
+
+def main(argv=None):
+    """CI gate: batched numpy suite must beat sequential scalar by
+    ``--min-speedup``x (exit 1 when it does not)."""
+    import argparse
+    from statistics import median
+    from time import perf_counter
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--size", type=int, default=8, help="matrix size n")
+    parser.add_argument(
+        "--mesh", type=int, nargs=2, default=[4, 4], metavar=("ROWS", "COLS")
+    )
+    parser.add_argument(
+        "--benchmarks", type=int, nargs="+", default=[1, 2, 3, 4, 5]
+    )
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument(
+        "--min-speedup", type=float, default=3.0,
+        help="fail unless batched/sequential speedup reaches this factor",
+    )
+    args = parser.parse_args(argv)
+
+    requests, model = _suite_requests(
+        n=args.size, mesh=tuple(args.mesh), benchmarks=tuple(args.benchmarks)
+    )
+
+    def timed(fn):
+        fn()  # warm
+        times = []
+        for _ in range(args.repeats):
+            t0 = perf_counter()
+            fn()
+            times.append(perf_counter() - t0)
+        return median(times)
+
+    def sequential():
+        return [
+            schedule(
+                r.tensor, model, algorithm="gomcds", capacity=r.capacity,
+                kernel="python",
+            )
+            for r in requests
+        ]
+
+    def batched():
+        return schedule_many(requests, workers=1, kernel="numpy")
+
+    seq_s = timed(sequential)
+    batch_s = timed(batched)
+    speedup = seq_s / batch_s if batch_s > 0 else float("inf")
+    print(
+        f"batched GOMCDS suite ({len(requests)} requests, size "
+        f"{args.size}): sequential scalar {seq_s:.4f}s, batched numpy "
+        f"{batch_s:.4f}s, speedup {speedup:.1f}x "
+        f"(gate: {args.min_speedup:g}x)"
+    )
+    if speedup < args.min_speedup:
+        print(f"FAIL: speedup {speedup:.1f}x below {args.min_speedup:g}x")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -8,7 +8,8 @@ the paper's metric abstracts away.
 
 import pytest
 
-from repro.core import evaluate_schedule, gomcds
+from repro import schedule
+from repro.core import evaluate_schedule
 from repro.distrib import baseline_schedule
 from repro.sim import replay_schedule
 
@@ -17,12 +18,12 @@ from repro.sim import replay_schedule
 def bench_replay_agreement(benchmark, instances, bench_id):
     """Time a full hop-level replay of the GOMCDS schedule (16x16)."""
     inst = instances(bench_id, 16)
-    schedule = gomcds(inst.tensor, inst.model, inst.capacity)
-    analytic = evaluate_schedule(schedule, inst.tensor, inst.model)
+    sched = schedule(inst.tensor, inst.model, algorithm="gomcds", capacity=inst.capacity)
+    analytic = evaluate_schedule(sched, inst.tensor, inst.model)
 
     def run():
         return replay_schedule(
-            inst.workload.trace, schedule, inst.model, capacity=inst.capacity
+            inst.workload.trace, sched, inst.model, capacity=inst.capacity
         )
 
     report = benchmark(run)
@@ -32,11 +33,11 @@ def bench_replay_agreement(benchmark, instances, bench_id):
 def bench_replay_with_link_tracking(benchmark, instances):
     """Link-tracked replay (slower) + congestion comparison vs S.F."""
     inst = instances(5, 16)
-    schedule = gomcds(inst.tensor, inst.model, inst.capacity)
+    sched = schedule(inst.tensor, inst.model, algorithm="gomcds", capacity=inst.capacity)
 
     def run():
         return replay_schedule(
-            inst.workload.trace, schedule, inst.model, track_links=True
+            inst.workload.trace, sched, inst.model, track_links=True
         )
 
     report = benchmark(run)

@@ -8,12 +8,13 @@ row's instance.
 
 import pytest
 
+from repro import schedule
 from repro.analysis import render_table, run_table1
-from repro.core import evaluate_schedule, gomcds, lomcds, scds
+from repro.core import evaluate_schedule
 
 from conftest import PAPER_BENCHMARKS, PAPER_SIZES
 
-SCHEDULERS = {"SCDS": scds, "LOMCDS": lomcds, "GOMCDS": gomcds}
+SCHEDULER_NAMES = ("SCDS", "LOMCDS", "GOMCDS")
 
 
 def bench_table1_full(benchmark):
@@ -33,14 +34,15 @@ def bench_table1_full(benchmark):
 
 
 @pytest.mark.parametrize("bench_id", PAPER_BENCHMARKS)
-@pytest.mark.parametrize("name", list(SCHEDULERS))
+@pytest.mark.parametrize("name", SCHEDULER_NAMES)
 def bench_scheduler_on_row(benchmark, instances, name, bench_id):
     """Time one scheduler on one 16x16 table row (capacity-constrained)."""
     inst = instances(bench_id, 16)
-    scheduler = SCHEDULERS[name]
 
     def run():
-        return scheduler(inst.tensor, inst.model, inst.capacity)
+        return schedule(
+            inst.tensor, inst.model, algorithm=name, capacity=inst.capacity
+        )
 
     schedule = benchmark(run)
     cost = evaluate_schedule(schedule, inst.tensor, inst.model).total
@@ -53,7 +55,9 @@ def bench_gomcds_scaling(benchmark, instances, n):
     inst = instances(3, n)
 
     def run():
-        return gomcds(inst.tensor, inst.model, inst.capacity)
+        return schedule(
+            inst.tensor, inst.model, algorithm="gomcds", capacity=inst.capacity
+        )
 
     schedule = benchmark(run)
     assert schedule.n_data == n * n

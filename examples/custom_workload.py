@@ -20,9 +20,8 @@ from repro import (
     TraceBuilder,
     build_reference_tensor,
     evaluate_schedule,
-    gomcds,
     replay_schedule,
-    scds,
+    schedule,
     windows_by_step_count,
 )
 from repro.core import Schedule
@@ -83,13 +82,13 @@ def main() -> None:
         "block": Schedule.static(
             block_owners(n, n, topo).reshape(-1), windows, method="block"
         ),
-        "SCDS": scds(tensor, model, capacity),
-        "GOMCDS": gomcds(tensor, model, capacity),
+        "SCDS": schedule(tensor, model, algorithm="scds", capacity=capacity),
+        "GOMCDS": schedule(tensor, model, algorithm="gomcds", capacity=capacity),
     }
     base_cost = None
     print(f"\n{'method':<16}{'total':>9}{'saving':>9}")
-    for name, schedule in results.items():
-        cost = evaluate_schedule(schedule, tensor, model).total
+    for name, sched in results.items():
+        cost = evaluate_schedule(sched, tensor, model).total
         if base_cost is None:
             base_cost = cost
         print(f"{name:<16}{cost:>9.0f}{100 * (base_cost - cost) / base_cost:>8.1f}%")

@@ -9,10 +9,9 @@ stage structure.
 Run:  python examples/extended_suite.py
 """
 
-import numpy as np
-
 from repro.analysis import render_heatmap, render_numeric_grid, render_table, run_extended_table
-from repro.core import CostModel, gomcds, scds, evaluate_schedule
+from repro import schedule
+from repro.core import CostModel, evaluate_schedule
 from repro.grid import Mesh2D
 from repro.mem import CapacityPlan
 from repro.sim import estimate_execution_time
@@ -31,11 +30,11 @@ def main() -> None:
     wl = floyd_workload(16, topo)
     tensor = wl.reference_tensor()
     capacity = CapacityPlan.paper_rule(wl.n_data, topo.n_procs)
-    schedule = gomcds(tensor, model, capacity)
+    sched_gomcds = schedule(tensor, model, algorithm="gomcds", capacity=capacity)
     demand = per_processor_demand(wl.trace, wl.windows).sum(axis=0)
     print()
     print(render_heatmap(demand.astype(float), topo, title="floyd: total demand per processor"))
-    occupancy = schedule.occupancy(topo.n_procs)[0]
+    occupancy = sched_gomcds.occupancy(topo.n_procs)[0]
     print()
     print(render_numeric_grid(occupancy, topo, title="floyd: GOMCDS initial residency (items)"))
 
@@ -43,8 +42,8 @@ def main() -> None:
     print()
     print("floyd 16x16: objective vs estimated makespan")
     for name, sched in (
-        ("SCDS", scds(tensor, model, capacity)),
-        ("GOMCDS", schedule),
+        ("SCDS", schedule(tensor, model, algorithm="scds", capacity=capacity)),
+        ("GOMCDS", sched_gomcds),
     ):
         cost = evaluate_schedule(sched, tensor, model).total
         timing = estimate_execution_time(wl.trace, sched, model)
@@ -64,9 +63,13 @@ def main() -> None:
     )
     auto_tensor = build_reference_tensor(fft.trace, auto)
     natural_cost = evaluate_schedule(
-        gomcds(fft.reference_tensor(), model), fft.reference_tensor(), model
+        schedule(fft.reference_tensor(), model, algorithm="gomcds"),
+        fft.reference_tensor(),
+        model,
     ).total
-    auto_cost = evaluate_schedule(gomcds(auto_tensor, model), auto_tensor, model).total
+    auto_cost = evaluate_schedule(
+        schedule(auto_tensor, model, algorithm="gomcds"), auto_tensor, model
+    ).total
     print(f"  GOMCDS cost: natural windows {natural_cost:.0f}, auto windows {auto_cost:.0f}")
 
 

@@ -17,12 +17,11 @@ import numpy as np
 from repro import (
     CostModel,
     Mesh2D,
+    ScheduleRequest,
     code_workload,
     evaluate_schedule,
-    gomcds,
     grouped_schedule,
-    lomcds,
-    scds,
+    schedule_many,
 )
 
 
@@ -37,28 +36,29 @@ def main() -> None:
     costs = model.all_placement_costs(tensor)[hot]
     print(f"hottest datum: id {hot} = element "
           f"{np.unravel_index(hot, workload.data_shape)}")
-    schedules = {
-        "SCDS": scds(tensor, model),
-        "LOMCDS": lomcds(tensor, model),
-        "GOMCDS": gomcds(tensor, model),
-    }
+    # one batched fan-out solves all three algorithms (docs/performance.md)
+    names = ("SCDS", "LOMCDS", "GOMCDS")
+    solved = schedule_many(
+        [ScheduleRequest(tensor, model, algorithm=n) for n in names]
+    )
+    schedules = dict(zip(names, solved))
     print(f"\n{'window':>6}{'refs':>6}{'local opt':>11}"
           + "".join(f"{name:>9}" for name in schedules))
     for w in range(tensor.n_windows):
         refs = int(tensor.counts[hot, w].sum())
         local = topo.coords(int(costs[w].argmin())) if refs else "-"
         row = f"{w:>6}{refs:>6}{str(local):>11}"
-        for schedule in schedules.values():
-            row += f"{str(topo.coords(int(schedule.centers[hot, w]))):>9}"
+        for sched in schedules.values():
+            row += f"{str(topo.coords(int(sched.centers[hot, w]))):>9}"
         print(row)
 
     # --- 2. cost split ---------------------------------------------------
     print(f"\n{'method':<10}{'total':>8}{'refs':>8}{'moves':>8}{'#moves':>8}")
-    for name, schedule in schedules.items():
-        cost = evaluate_schedule(schedule, tensor, model)
+    for name, sched in schedules.items():
+        cost = evaluate_schedule(sched, tensor, model)
         print(
             f"{name:<10}{cost.total:>8.0f}{cost.reference_cost:>8.0f}"
-            f"{cost.movement_cost:>8.0f}{schedule.n_movements():>8}"
+            f"{cost.movement_cost:>8.0f}{sched.n_movements():>8}"
         )
 
     # --- 3. window grouping (Algorithm 3) --------------------------------
@@ -76,11 +76,11 @@ def main() -> None:
     from repro.analysis import render_trajectory, trajectory_summary
 
     print()
-    for name, schedule in (("LOMCDS", schedules["LOMCDS"]), ("GOMCDS", schedules["GOMCDS"])):
-        summary = trajectory_summary(schedule, hot, topo)
+    for name, sched in (("LOMCDS", schedules["LOMCDS"]), ("GOMCDS", schedules["GOMCDS"])):
+        summary = trajectory_summary(sched, hot, topo)
         print(
             render_trajectory(
-                schedule,
+                sched,
                 hot,
                 topo,
                 title=f"{name} trajectory of datum {hot} "

@@ -10,7 +10,7 @@ the schedulers handling it like any other workload.
 Run:  python examples/loop_nest_dsl.py
 """
 
-from repro import CapacityPlan, CostModel, Mesh2D, evaluate_schedule, gomcds, lomcds, scds
+from repro import CapacityPlan, CostModel, Mesh2D, evaluate_schedule, schedule
 from repro.distrib import baseline_schedule
 from repro.workloads import Loop, LoopNest, matrix_data_ids, row_wise_owners
 
@@ -58,14 +58,14 @@ def main() -> None:
     capacity = CapacityPlan.paper_rule(workload.n_data, topo.n_procs)
     schedules = {
         "S.F. row-wise": baseline_schedule(workload, "row_wise"),
-        "SCDS": scds(tensor, model, capacity),
-        "LOMCDS": lomcds(tensor, model, capacity),
-        "GOMCDS": gomcds(tensor, model, capacity),
+        "SCDS": schedule(tensor, model, algorithm="scds", capacity=capacity),
+        "LOMCDS": schedule(tensor, model, algorithm="lomcds", capacity=capacity),
+        "GOMCDS": schedule(tensor, model, algorithm="gomcds", capacity=capacity),
     }
     base = None
     print(f"\n{'method':<16}{'total':>8}{'saving':>9}")
-    for name, schedule in schedules.items():
-        cost = evaluate_schedule(schedule, tensor, model).total
+    for name, sched in schedules.items():
+        cost = evaluate_schedule(sched, tensor, model).total
         base = cost if base is None else base
         print(f"{name:<16}{cost:>8.0f}{100 * (base - cost) / base:>8.1f}%")
 

@@ -14,11 +14,9 @@ from repro import (
     Mesh2D,
     baseline_schedule,
     evaluate_schedule,
-    gomcds,
-    lomcds,
     lu_workload,
     replay_schedule,
-    scds,
+    schedule,
 )
 
 
@@ -40,14 +38,14 @@ def main() -> None:
     # --- schedule with the baseline and the paper's three algorithms ----
     schedules = {
         "S.F. row-wise": baseline_schedule(workload, "row_wise"),
-        "SCDS": scds(tensor, model, capacity),
-        "LOMCDS": lomcds(tensor, model, capacity),
-        "GOMCDS": gomcds(tensor, model, capacity),
+        "SCDS": schedule(tensor, model, algorithm="scds", capacity=capacity),
+        "LOMCDS": schedule(tensor, model, algorithm="lomcds", capacity=capacity),
+        "GOMCDS": schedule(tensor, model, algorithm="gomcds", capacity=capacity),
     }
     baseline_cost = None
     print(f"\n{'method':<16}{'total':>8}{'refs':>8}{'moves':>8}{'saving':>9}")
-    for name, schedule in schedules.items():
-        cost = evaluate_schedule(schedule, tensor, model)
+    for name, sched in schedules.items():
+        cost = evaluate_schedule(sched, tensor, model)
         if baseline_cost is None:
             baseline_cost = cost.total
         saving = 100.0 * (baseline_cost - cost.total) / baseline_cost

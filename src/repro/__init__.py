@@ -26,9 +26,10 @@ Quickstart::
     print(evaluate_schedule(sched, tensor, model).total)
 
 The individual algorithms (``scds``/``lomcds``/``gomcds``/``omcds``)
-remain importable; ``schedule`` is the uniform front door and the
-``instrument=`` keyword hooks in the observability layer
-(``docs/observability.md``).
+remain importable but are deprecated entry points; ``schedule`` is the
+uniform front door, ``schedule_many`` the batched one
+(``docs/performance.md``), and the ``instrument=`` keyword hooks in the
+observability layer (``docs/observability.md``).
 """
 
 from .core import (
@@ -47,6 +48,7 @@ from .core import (
     scheduler_spec,
 )
 from .api import schedule
+from .engine import ScheduleRequest, SolveCache, schedule_many, solve_key
 from .distrib import baseline_schedule
 from .obs import Instrumentation, instrumented
 from .analysis import run_chaos_campaign
@@ -124,6 +126,11 @@ __all__ = [
     "schedule",
     "scheduler_spec",
     "SchedulerSpec",
+    # batch engine (docs/performance.md)
+    "schedule_many",
+    "ScheduleRequest",
+    "SolveCache",
+    "solve_key",
     # observability (docs/observability.md)
     "Instrumentation",
     "instrumented",

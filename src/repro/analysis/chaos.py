@@ -36,7 +36,7 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass, field
 
-from ..core import CostModel, get_scheduler, replicated_scds
+from ..core import CostModel, replicated_scds, scheduler_spec
 from ..diagnostics import RCV001, RCV002, RCV003, RCV004, Diagnostic, Severity
 from ..faults import FaultPlan, RecoveryPolicy, replay_with_recovery
 from ..grid import Mesh2D
@@ -296,7 +296,7 @@ def run_chaos_campaign(
     workload = benchmark(bench, size, topology, seed=workload_seed)
     tensor = workload.reference_tensor()
     model = CostModel(topology)
-    schedule = get_scheduler(scheduler)(tensor, model)
+    schedule = scheduler_spec(scheduler)(tensor, model)
     baseline = replay_schedule(workload.trace, schedule, model)
     baseline_dict = baseline.to_dict()
     replicas = replicated_scds(tensor, model, k=2)

@@ -14,16 +14,15 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..api import schedule
 from ..core import (
     CostModel,
     Schedule,
     evaluate_schedule,
-    gomcds,
     grouped_schedule,
-    lomcds,
-    scds,
 )
 from ..distrib import baseline_schedule
+from ..engine import ScheduleRequest, SolveCache, schedule_many
 from ..grid import Mesh2D
 from ..mem import CapacityPlan
 from ..trace import ReferenceTensor, build_reference_tensor
@@ -126,9 +125,9 @@ class Figure1Result:
 def run_figure1() -> Figure1Result:
     """Reproduce the §3.3 walk-through on the reconstructed instance."""
     tensor, model, topo = figure1_instance()
-    s = scds(tensor, model)
-    lo = lomcds(tensor, model)
-    go = gomcds(tensor, model)
+    s = schedule(tensor, model, algorithm="scds")
+    lo = schedule(tensor, model, algorithm="lomcds")
+    go = schedule(tensor, model, algorithm="gomcds")
     return Figure1Result(
         scds_center=topo.coords(int(s.centers[0, 0])),
         scds_cost=evaluate_schedule(s, tensor, model).total,
@@ -170,26 +169,47 @@ def run_table1(
     mesh: tuple[int, int] = (4, 4),
     capacity_multiplier: float = 2.0,
     seed: int = 1998,
+    *,
+    workers: int = 1,
+    cache: SolveCache | None = None,
 ) -> Table:
-    """Table 1: total communication cost *before* grouping."""
+    """Table 1: total communication cost *before* grouping.
+
+    All ``len(benchmarks) x len(sizes) x 3`` solves fan out through
+    :func:`repro.schedule_many`, so ``workers``/``cache`` accelerate the
+    table without changing a single cell (batch results are ordering-
+    deterministic).
+    """
     table = Table(
         title=f"Table 1: total communication cost before grouping "
         f"(processor array {mesh[0]}x{mesh[1]})",
         scheduler_names=SCHEDULER_NAMES,
     )
-    for bench in benchmarks:
-        for n in sizes:
-            _wl, tensor, model, capacity, sf = _instance(
-                bench, n, mesh, capacity_multiplier, seed
-            )
-            results = (
-                _result("SCDS", scds(tensor, model, capacity), tensor, model, sf),
-                _result("LOMCDS", lomcds(tensor, model, capacity), tensor, model, sf),
-                _result("GOMCDS", gomcds(tensor, model, capacity), tensor, model, sf),
-            )
-            table.add(
-                TableRow(bench, BENCHMARK_NAMES[bench], f"{n}x{n}", sf, results)
-            )
+    instances = [
+        (bench, n, _instance(bench, n, mesh, capacity_multiplier, seed))
+        for bench in benchmarks
+        for n in sizes
+    ]
+    requests = [
+        ScheduleRequest(
+            tensor=tensor,
+            model=model,
+            capacity=capacity,
+            algorithm=name,
+            label=f"table1:bench{bench}:{n}x{n}:{name}",
+        )
+        for bench, n, (_wl, tensor, model, capacity, _sf) in instances
+        for name in SCHEDULER_NAMES
+    ]
+    schedules = iter(schedule_many(requests, workers=workers, cache=cache))
+    for bench, n, (_wl, tensor, model, _capacity, sf) in instances:
+        results = tuple(
+            _result(name, next(schedules), tensor, model, sf)
+            for name in SCHEDULER_NAMES
+        )
+        table.add(
+            TableRow(bench, BENCHMARK_NAMES[bench], f"{n}x{n}", sf, results)
+        )
     return table
 
 
@@ -199,6 +219,9 @@ def run_table2(
     mesh: tuple[int, int] = (4, 4),
     capacity_multiplier: float = 2.0,
     seed: int = 1998,
+    *,
+    workers: int = 1,
+    cache: SolveCache | None = None,
 ) -> Table:
     """Table 2: total communication cost *after* window grouping.
 
@@ -207,45 +230,67 @@ def run_table2(
     windows: SCDS is grouping-invariant (a single center regardless of
     windows), LOMCDS places per-group local optima, GOMCDS routes the
     cost-graph over the grouped windows.
+
+    The SCDS column (the only registry algorithm here — the grouped
+    columns go through :func:`~repro.core.grouped_schedule`) fans out via
+    :func:`repro.schedule_many`; with a shared ``cache`` it is answered
+    from Table 1's identical solves without re-running anything.
     """
     table = Table(
         title=f"Table 2: total communication cost after grouping "
         f"(processor array {mesh[0]}x{mesh[1]})",
         scheduler_names=SCHEDULER_NAMES,
     )
-    for bench in benchmarks:
-        for n in sizes:
-            _wl, tensor, model, capacity, sf = _instance(
-                bench, n, mesh, capacity_multiplier, seed
-            )
-            results = (
-                _result("SCDS", scds(tensor, model, capacity), tensor, model, sf),
-                _result(
-                    "LOMCDS",
-                    grouped_schedule(
-                        tensor, model, capacity, center_method="local"
-                    ),
+    instances = [
+        (bench, n, _instance(bench, n, mesh, capacity_multiplier, seed))
+        for bench in benchmarks
+        for n in sizes
+    ]
+    scds_schedules = iter(
+        schedule_many(
+            [
+                ScheduleRequest(
+                    tensor=tensor,
+                    model=model,
+                    capacity=capacity,
+                    algorithm="SCDS",
+                    label=f"table2:bench{bench}:{n}x{n}:SCDS",
+                )
+                for bench, n, (_wl, tensor, model, capacity, _sf) in instances
+            ],
+            workers=workers,
+            cache=cache,
+        )
+    )
+    for bench, n, (_wl, tensor, model, capacity, sf) in instances:
+        results = (
+            _result("SCDS", next(scds_schedules), tensor, model, sf),
+            _result(
+                "LOMCDS",
+                grouped_schedule(
+                    tensor, model, capacity, center_method="local"
+                ),
+                tensor,
+                model,
+                sf,
+            ),
+            _result(
+                "GOMCDS",
+                grouped_schedule(
                     tensor,
                     model,
-                    sf,
+                    capacity,
+                    center_method="local",
+                    assign_method="global",
                 ),
-                _result(
-                    "GOMCDS",
-                    grouped_schedule(
-                        tensor,
-                        model,
-                        capacity,
-                        center_method="local",
-                        assign_method="global",
-                    ),
-                    tensor,
-                    model,
-                    sf,
-                ),
-            )
-            table.add(
-                TableRow(bench, BENCHMARK_NAMES[bench], f"{n}x{n}", sf, results)
-            )
+                tensor,
+                model,
+                sf,
+            ),
+        )
+        table.add(
+            TableRow(bench, BENCHMARK_NAMES[bench], f"{n}x{n}", sf, results)
+        )
     return table
 
 
@@ -280,10 +325,15 @@ def run_extended_table(
         sf = evaluate_schedule(
             baseline_schedule(workload, "row_wise"), tensor, model
         ).total
-        results = (
-            _result("SCDS", scds(tensor, model, capacity), tensor, model, sf),
-            _result("LOMCDS", lomcds(tensor, model, capacity), tensor, model, sf),
-            _result("GOMCDS", gomcds(tensor, model, capacity), tensor, model, sf),
+        results = tuple(
+            _result(
+                name,
+                schedule(tensor, model, algorithm=name, capacity=capacity),
+                tensor,
+                model,
+                sf,
+            )
+            for name in SCHEDULER_NAMES
         )
         size = "x".join(str(e) for e in workload.data_shape)
         table.add(TableRow(idx + 6, name, size, sf, results))
@@ -313,9 +363,9 @@ def ablation_window_size(
         windows = windows_by_step_count(workload.trace, spw)
         tensor = build_reference_tensor(workload.trace, windows)
         row = {"steps_per_window": spw, "n_windows": windows.n_windows}
-        for name, fn in (("SCDS", scds), ("LOMCDS", lomcds), ("GOMCDS", gomcds)):
-            schedule = fn(tensor, model)
-            row[name] = evaluate_schedule(schedule, tensor, model).total
+        for name in SCHEDULER_NAMES:
+            sched = schedule(tensor, model, algorithm=name)
+            row[name] = evaluate_schedule(sched, tensor, model).total
         out.append(row)
     return out
 
@@ -334,8 +384,9 @@ def ablation_array_size(
             bench, n, mesh, capacity_multiplier, seed
         )
         row = {"mesh": f"{mesh[0]}x{mesh[1]}", "sf": sf}
-        for name, fn in (("SCDS", scds), ("LOMCDS", lomcds), ("GOMCDS", gomcds)):
-            cost = evaluate_schedule(fn(tensor, model, capacity), tensor, model).total
+        for name in SCHEDULER_NAMES:
+            sched = schedule(tensor, model, algorithm=name, capacity=capacity)
+            cost = evaluate_schedule(sched, tensor, model).total
             row[name] = cost
             row[f"{name}_pct"] = percent_improvement(sf, cost)
         out.append(row)
@@ -354,8 +405,9 @@ def ablation_memory_pressure(
     for mult in multipliers:
         _wl, tensor, model, capacity, sf = _instance(bench, n, mesh, mult, seed)
         row = {"multiplier": mult, "capacity": int(capacity.capacities[0]), "sf": sf}
-        for name, fn in (("SCDS", scds), ("LOMCDS", lomcds), ("GOMCDS", gomcds)):
-            cost = evaluate_schedule(fn(tensor, model, capacity), tensor, model).total
+        for name in SCHEDULER_NAMES:
+            sched = schedule(tensor, model, algorithm=name, capacity=capacity)
+            cost = evaluate_schedule(sched, tensor, model).total
             row[name] = cost
             row[f"{name}_pct"] = percent_improvement(sf, cost)
         out.append(row)
@@ -389,8 +441,9 @@ def ablation_partition_schemes(
             baseline_schedule(workload, scheme), tensor, model
         ).total
         row = {"scheme": scheme, "sf": sf}
-        for name, fn in (("SCDS", scds), ("LOMCDS", lomcds), ("GOMCDS", gomcds)):
-            cost = evaluate_schedule(fn(tensor, model, capacity), tensor, model).total
+        for name in SCHEDULER_NAMES:
+            sched = schedule(tensor, model, algorithm=name, capacity=capacity)
+            cost = evaluate_schedule(sched, tensor, model).total
             row[name] = cost
             row[f"{name}_pct"] = percent_improvement(sf, cost)
         out.append(row)
@@ -409,26 +462,26 @@ def ablation_online_lookahead(
     Sweeps the OMCDS hysteresis and brackets it between the paper's
     offline schedulers: GOMCDS (full lookahead) below, SCDS/static above.
     """
-    from ..core.online import omcds
-
     topo = Mesh2D(*mesh)
     workload = benchmark(bench, n, topo, seed=seed)
     tensor = workload.reference_tensor()
     model = CostModel(topo)
     offline = {
-        "SCDS": evaluate_schedule(scds(tensor, model), tensor, model).total,
-        "GOMCDS": evaluate_schedule(gomcds(tensor, model), tensor, model).total,
+        name: evaluate_schedule(
+            schedule(tensor, model, algorithm=name), tensor, model
+        ).total
+        for name in ("SCDS", "GOMCDS")
     }
     out = []
     for h in hysteresis:
-        schedule = omcds(tensor, model, hysteresis=h)
-        cost = evaluate_schedule(schedule, tensor, model).total
+        sched = schedule(tensor, model, algorithm="omcds", hysteresis=h)
+        cost = evaluate_schedule(sched, tensor, model).total
         out.append(
             {
                 "hysteresis": h,
                 "OMCDS": cost,
                 "vs GOMCDS": cost / offline["GOMCDS"],
-                "moves": schedule.n_movements(),
+                "moves": sched.n_movements(),
             }
         )
     out.append(
@@ -461,7 +514,7 @@ def ablation_replication(
         workload.n_data, topo.n_procs, capacity_multiplier
     )
     gomcds_cost = evaluate_schedule(
-        gomcds(tensor, model, capacity), tensor, model
+        schedule(tensor, model, capacity=capacity), tensor, model
     ).total
     out = []
     for k in copies:
@@ -496,12 +549,14 @@ def ablation_refinement(
     workload = benchmark(bench, n, topo, seed=seed)
     tensor = workload.reference_tensor()
     model = CostModel(topo)
-    floor = evaluate_schedule(gomcds(tensor, model), tensor, model).total
+    floor = evaluate_schedule(
+        schedule(tensor, model), tensor, model
+    ).total
     out = []
     for mult in multipliers:
         capacity = CapacityPlan.paper_rule(workload.n_data, topo.n_procs, mult)
-        schedule = gomcds(tensor, model, capacity)
-        result = refine_schedule(schedule, tensor, model, capacity)
+        sched = schedule(tensor, model, capacity=capacity)
+        result = refine_schedule(sched, tensor, model, capacity)
         out.append(
             {
                 "multiplier": mult,
@@ -550,7 +605,9 @@ def ablation_window_segmentation(
     out = []
     for name, windows in candidates.items():
         tensor = build_reference_tensor(workload.trace, windows)
-        cost = evaluate_schedule(gomcds(tensor, model), tensor, model).total
+        cost = evaluate_schedule(
+            schedule(tensor, model), tensor, model
+        ).total
         out.append(
             {"strategy": name, "n_windows": windows.n_windows, "GOMCDS": cost}
         )
@@ -580,7 +637,9 @@ def ablation_static_optimality(
     for mult in multipliers:
         capacity = CapacityPlan.paper_rule(workload.n_data, topo.n_procs, mult)
         greedy = evaluate_schedule(
-            scds(tensor, model, capacity), tensor, model
+            schedule(tensor, model, algorithm="scds", capacity=capacity),
+            tensor,
+            model,
         ).total
         optimal = evaluate_schedule(
             optimal_static_placement(tensor, model, capacity), tensor, model
@@ -636,8 +695,9 @@ def seed_sensitivity(
         _wl, tensor, model, capacity, sf = _instance(
             bench, n, mesh, capacity_multiplier, seed
         )
-        for name, fn in (("SCDS", scds), ("LOMCDS", lomcds), ("GOMCDS", gomcds)):
-            cost = evaluate_schedule(fn(tensor, model, capacity), tensor, model).total
+        for name in SCHEDULER_NAMES:
+            sched = schedule(tensor, model, algorithm=name, capacity=capacity)
+            cost = evaluate_schedule(sched, tensor, model).total
             per_scheduler[name].append(percent_improvement(sf, cost))
     out = []
     for name, values in per_scheduler.items():
@@ -671,10 +731,12 @@ def ablation_grouping_strategy(
     workload = benchmark(bench, n, topo, seed=seed)
     tensor = workload.reference_tensor()
     model = CostModel(topo)
-    lomcds_cost = evaluate_schedule(lomcds(tensor, model), tensor, model).total
+    lomcds_cost = evaluate_schedule(
+        schedule(tensor, model, algorithm="lomcds"), tensor, model
+    ).total
     greedy = grouped_schedule(tensor, model, center_method="local")
     optimal = grouped_schedule(tensor, model, center_method="local", strategy="optimal")
-    bound = gomcds(tensor, model)
+    bound = schedule(tensor, model)
     return {
         "benchmark": BENCHMARK_NAMES[bench],
         "size": f"{n}x{n}",

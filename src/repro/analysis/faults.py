@@ -12,8 +12,8 @@ from __future__ import annotations
 from ..core import (
     CostModel,
     evaluate_schedule,
-    get_scheduler,
     reschedule_around_faults,
+    scheduler_spec,
 )
 from ..faults import FaultPlan, RetryPolicy
 from ..grid import Mesh2D
@@ -55,7 +55,7 @@ def run_fault_replay(
     if reschedule:
         schedule = reschedule_around_faults(tensor, model, plan, capacity)
     else:
-        schedule = get_scheduler(scheduler)(tensor, model, capacity)
+        schedule = scheduler_spec(scheduler)(tensor, model, capacity)
     analytic = evaluate_schedule(schedule, tensor, model)
     report = replay_schedule(
         workload.trace,

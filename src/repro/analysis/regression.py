@@ -30,8 +30,10 @@ from pathlib import Path
 from statistics import median
 from time import perf_counter
 
-from ..core import CostModel, evaluate_schedule, scheduler_spec
+from ..api import schedule
+from ..core import CostModel, evaluate_schedule
 from ..diagnostics import REG001, REG002, REG003, Diagnostic, Severity
+from ..engine import ScheduleRequest, schedule_many
 from ..grid import Mesh2D
 from ..mem import CapacityPlan
 from ..obs import NOOP, Instrumentation
@@ -88,12 +90,58 @@ def _noop_probe_seconds(n_windows: int, repeats: int) -> tuple[float, float]:
     return _time_repeats(probes, repeats)
 
 
+def _batch_gomcds_block(
+    instances: list[tuple],
+    model: CostModel,
+    repeats: int,
+) -> dict:
+    """Measure the batched numpy GOMCDS suite against the sequential
+    scalar (``kernel="python"``) baseline over the same instances.
+
+    The two runs produce bit-identical schedules (the kernels are
+    property-tested for parity), so the block records pure engine
+    speedup: vectorized DP + one ``schedule_many`` fan-out versus a
+    python-kernel loop.
+    """
+    requests = [
+        ScheduleRequest(
+            tensor, model, capacity=capacity, algorithm="gomcds",
+            label=f"bench{bench}",
+        )
+        for bench, tensor, capacity in instances
+    ]
+
+    def sequential():
+        for _, tensor, capacity in instances:
+            schedule(
+                tensor, model, algorithm="gomcds", capacity=capacity,
+                kernel="python",
+            )
+
+    def batched():
+        schedule_many(requests, workers=1, kernel="numpy")
+
+    sequential()  # warm
+    batched()
+    seq_s, seq_med = _time_repeats(sequential, repeats)
+    batch_s, batch_med = _time_repeats(batched, repeats)
+    return {
+        "n_requests": len(requests),
+        "sequential_python_s": seq_s,
+        "sequential_python_median_s": seq_med,
+        "batch_numpy_s": batch_s,
+        "batch_numpy_median_s": batch_med,
+        "speedup": seq_med / batch_med if batch_med > 0 else float("inf"),
+    }
+
+
 def run_bench_suite(
     mesh: tuple[int, int] = (4, 4),
     size: int = 16,
     benchmarks: tuple[int, ...] = (1, 2, 3, 4, 5),
     repeats: int = 3,
     seed: int = 1998,
+    include_batch: bool = False,
 ) -> dict:
     """Time scheduling + replay on the paper benchmarks; return the report.
 
@@ -101,17 +149,22 @@ def run_bench_suite(
     ``config`` block (so a comparison can verify like-for-like), one
     ``results`` row per benchmark (costs, best-of and median timings,
     no-op probe overhead) and a suite-level ``noop_overhead`` block whose
-    ``overhead_pct`` is computed from *medians*.
+    ``overhead_pct`` is computed from *medians*.  ``include_batch=True``
+    appends a ``batch_gomcds`` block comparing the batched numpy GOMCDS
+    suite against the sequential scalar-kernel baseline; the comparator
+    ignores unknown top-level keys, so older baselines stay valid.
     """
     topology = Mesh2D(*mesh)
     model = CostModel(topology)
     results = []
     replay_medians = []
     probe_medians = []
+    instances = []
     for bench in benchmarks:
         workload = make_benchmark(bench, size, topology, seed=seed)
         tensor = workload.reference_tensor()
         capacity = CapacityPlan.paper_rule(workload.n_data, topology.n_procs)
+        instances.append((bench, tensor, capacity))
         row = {
             "benchmark": bench,
             "name": BENCHMARK_NAMES[bench],
@@ -120,10 +173,13 @@ def run_bench_suite(
         }
         last = None
         for name in BENCH_SCHEDULERS:
-            spec = scheduler_spec(name)
-            last = spec(tensor, model, capacity)  # warm
+            last = schedule(  # warm
+                tensor, model, algorithm=name, capacity=capacity
+            )
             best, med = _time_repeats(
-                lambda spec=spec, t=tensor, c=capacity: spec(t, model, c),
+                lambda n=name, t=tensor, c=capacity: schedule(
+                    t, model, algorithm=n, capacity=c
+                ),
                 repeats,
             )
             row[f"{name.lower()}_s"] = best
@@ -157,7 +213,7 @@ def run_bench_suite(
         probe_medians.append(probe_med)
 
     overhead_pct = 100.0 * sum(probe_medians) / sum(replay_medians)
-    return {
+    report = {
         "config": {
             "mesh": list(mesh),
             "size": size,
@@ -173,6 +229,11 @@ def run_bench_suite(
             "overhead_pct": overhead_pct,
         },
     }
+    if include_batch:
+        report["batch_gomcds"] = _batch_gomcds_block(
+            instances, model, repeats
+        )
+    return report
 
 
 def load_bench_report(path: str | Path) -> dict:

@@ -8,15 +8,19 @@ module collapses those call shapes into one facade::
     sched = schedule(tensor, model)                      # GOMCDS
     sched = schedule(tensor, model, algorithm="scds")
     sched = schedule(tensor, model, capacity=cap,
-                     instrument=my_instrumentation)
+                     certify=True, kernel="numpy")
 
 Algorithm selection goes through the frozen
 :class:`~repro.core.SchedulerSpec` registry, so ``schedule`` accepts
-exactly the names ``get_scheduler`` accepts (case-insensitive) and
-forwards algorithm-specific keywords (e.g. ``hysteresis`` for OMCDS)
-untouched.  Old entry points — calling ``scds``/``lomcds``/``gomcds``
-directly, or via ``get_scheduler(name)`` — keep working; see
-``docs/algorithms.md`` for the migration notes.
+exactly the names ``scheduler_spec`` accepts (case-insensitive).
+Algorithm-specific options are validated against the spec's
+``supported_kwargs`` before dispatch, so a typo or an unsupported
+combination (``certify=True`` on SCDS) fails with the supported list
+instead of a bare ``TypeError`` from deep inside a solver.  The old
+entry points — calling ``scds``/``lomcds``/``gomcds`` directly, or via
+``get_scheduler(name)`` — still work but emit ``DeprecationWarning``;
+see ``docs/algorithms.md`` for the migration table.  For many solves
+at once, use :func:`repro.schedule_many`.
 """
 
 from __future__ import annotations
@@ -36,6 +40,8 @@ def schedule(
     *,
     algorithm: str | SchedulerSpec = "gomcds",
     capacity: CapacityPlan | None = None,
+    certify: bool = False,
+    kernel: str | None = None,
     instrument: Instrumentation | None = None,
     **kwargs,
 ) -> Schedule:
@@ -54,13 +60,21 @@ def schedule(
         best performer, GOMCDS.
     capacity:
         Optional per-processor memory constraint.
+    certify:
+        Attach an optimality certificate to the schedule.  Only
+        algorithms that can prove their result support this (GOMCDS);
+        requesting it elsewhere raises ``TypeError``.
+    kernel:
+        Solver kernel: ``"numpy"`` (vectorized, default) or
+        ``"python"`` (scalar reference oracle).  Bit-identical results;
+        see :mod:`repro.core.kernels`.
     instrument:
         Optional :class:`~repro.obs.Instrumentation` recording phase
         spans and metrics; ``None`` uses the active (usually no-op)
         handle.
     **kwargs:
-        Algorithm-specific options, forwarded verbatim (e.g.
-        ``hysteresis=1.5`` for OMCDS).
+        Further algorithm-specific options (e.g. ``hysteresis=1.5`` for
+        OMCDS), validated against ``spec.supported_kwargs``.
 
     Returns
     -------
@@ -71,4 +85,17 @@ def schedule(
         if isinstance(algorithm, SchedulerSpec)
         else scheduler_spec(algorithm)
     )
+    if certify:
+        kwargs["certify"] = True
+    if kernel is not None:
+        kwargs["kernel"] = kernel
+    unsupported = sorted(set(kwargs) - set(spec.supported_kwargs))
+    if unsupported:
+        supported = (
+            ", ".join(spec.supported_kwargs) or "none beyond the base surface"
+        )
+        raise TypeError(
+            f"{spec.name} does not support option(s) "
+            f"{', '.join(unsupported)}; supported: {supported}"
+        )
     return spec(tensor, model, capacity, instrument=instrument, **kwargs)

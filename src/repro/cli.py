@@ -93,6 +93,10 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         "--fast", action="store_true",
         help="small sizes only (8, 16) for a quick run",
     )
+    parser.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes for the batched solves (docs/performance.md)",
+    )
 
 
 def _render_rows(rows: list[dict]) -> str:
@@ -149,6 +153,7 @@ def main(argv: list[str] | None = None) -> int:
     add_parser("ablation-static", help="greedy vs optimal static placement (J)")
     add_parser("seeds", help="seed sensitivity of the improvements")
     add_parser("ablation-budget", help="movement-budget Pareto frontier (K)")
+    _add_batch_parser(add_parser)
     _add_faults_parser(add_parser)
     _add_chaos_parser(add_parser)
     _add_lint_parser(add_parser)
@@ -173,6 +178,128 @@ def main(argv: list[str] | None = None) -> int:
         # infeasible memory/fault configurations.
         print(f"error: {exc}", file=sys.stderr)
         return EXIT_CONFIG_ERROR
+
+
+def _add_batch_parser(add_parser) -> None:
+    parser = add_parser(
+        "batch",
+        help="solve a benchmark suite through the batch engine: "
+        "content-addressed dedup, shared solve cache, optional worker "
+        "fan-out (docs/performance.md)",
+    )
+    parser.add_argument(
+        "--benchmarks", type=int, nargs="+", default=[1, 2, 3, 4, 5],
+        help="paper benchmark ids to solve (1-5)",
+    )
+    parser.add_argument(
+        "--sizes", type=int, nargs="+", default=[16],
+        help="matrix sizes n (data universes n x n)",
+    )
+    parser.add_argument(
+        "--mesh", type=int, nargs=2, default=[4, 4], metavar=("ROWS", "COLS"),
+        help="processor array shape",
+    )
+    parser.add_argument(
+        "--schedulers", nargs="+", default=["SCDS", "LOMCDS", "GOMCDS"],
+        metavar="NAME", help="algorithms to solve each instance with",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes for the fan-out (1 = in-process)",
+    )
+    parser.add_argument(
+        "--kernel", choices=("numpy", "python"), default=None,
+        help="DP kernel for schedulers that support one "
+        "(default: the vectorized numpy kernels)",
+    )
+    parser.add_argument(
+        "--cache-dir", metavar="PATH", default=None,
+        help="persist solved schedules to this directory; later runs "
+        "with identical inputs hit the disk cache",
+    )
+    parser.add_argument(
+        "--capacity-multiplier", type=float, default=2.0,
+        help="paper-rule capacity sizing",
+    )
+    parser.add_argument("--seed", type=int, default=1998)
+    parser.add_argument(
+        "--format", choices=("human", "json"), default="human",
+        dest="fmt", help="report format",
+    )
+
+
+def _run_batch(args) -> int:
+    import json
+    from time import perf_counter
+
+    from .core import CostModel, evaluate_schedule
+    from .engine import ScheduleRequest, SolveCache, schedule_many
+    from .grid import Mesh2D
+    from .mem import CapacityPlan
+    from .workloads import BENCHMARK_NAMES, benchmark as make_benchmark
+
+    topology = Mesh2D(*args.mesh)
+    model = CostModel(topology)
+    requests = []
+    meta = []
+    for size in args.sizes:
+        for bench in args.benchmarks:
+            workload = make_benchmark(bench, size, topology, seed=args.seed)
+            tensor = workload.reference_tensor()
+            capacity = CapacityPlan.paper_rule(
+                workload.n_data, topology.n_procs, args.capacity_multiplier
+            )
+            for name in args.schedulers:
+                requests.append(
+                    ScheduleRequest(
+                        tensor, model, capacity=capacity,
+                        algorithm=name.upper(),
+                        label=f"bench{bench}:{size}x{size}:{name.upper()}",
+                    )
+                )
+                meta.append((bench, size, name.upper(), tensor))
+    cache = SolveCache(disk_dir=args.cache_dir)
+    t0 = perf_counter()
+    schedules = schedule_many(
+        requests, workers=args.workers, cache=cache, kernel=args.kernel
+    )
+    elapsed = perf_counter() - t0
+    rows = [
+        {
+            "benchmark": BENCHMARK_NAMES[bench],
+            "size": f"{size}x{size}",
+            "scheduler": name,
+            "cost": evaluate_schedule(sched, tensor, model).total,
+            "moves": int(sched.n_movements()),
+        }
+        for (bench, size, name, tensor), sched in zip(meta, schedules)
+    ]
+    stats = cache.stats()
+    if args.fmt == "json":
+        print(
+            json.dumps(
+                {
+                    "kind": "batch_report",
+                    "n_requests": len(requests),
+                    "workers": args.workers,
+                    "kernel": args.kernel or "numpy",
+                    "elapsed_s": elapsed,
+                    "rows": rows,
+                    "cache": stats,
+                },
+                indent=2,
+                sort_keys=True,
+            )
+        )
+    else:
+        print(_render_rows(rows))
+        print(
+            f"{len(requests)} request(s) in {elapsed:.3f}s "
+            f"(workers={args.workers}, kernel={args.kernel or 'numpy'}); "
+            f"cache: {stats['hits']} hit(s), {stats['misses']} miss(es), "
+            f"{stats['entries']} entries"
+        )
+    return EXIT_OK
 
 
 def _add_faults_parser(add_parser) -> None:
@@ -709,7 +836,8 @@ def _run_profile(args) -> int:
 
 def _run_heatmap(args) -> int:
     from .analysis import render_heatmap, render_link_heatmap
-    from .core import CostModel, scheduler_spec
+    from .api import schedule
+    from .core import CostModel
     from .grid import Mesh2D
     from .mem import CapacityPlan
     from .obs import Instrumentation, analyze_spatial
@@ -723,8 +851,9 @@ def _run_heatmap(args) -> int:
     capacity = CapacityPlan.paper_rule(
         workload.n_data, topology.n_procs, args.capacity_multiplier
     )
-    spec = scheduler_spec(args.scheduler.upper())
-    sched = spec(tensor, model, capacity)
+    sched = schedule(
+        tensor, model, algorithm=args.scheduler.upper(), capacity=capacity
+    )
     instr = Instrumentation.started(spatial=True)
     replay_schedule(
         workload.trace, sched, model, capacity=capacity, instrument=instr
@@ -738,7 +867,7 @@ def _run_heatmap(args) -> int:
     )
     print(
         f"Spatial telemetry (benchmark {args.bench}, {args.size}x{args.size}, "
-        f"{args.mesh[0]}x{args.mesh[1]} array, scheduler {spec.name})"
+        f"{args.mesh[0]}x{args.mesh[1]} array, scheduler {sched.method})"
     )
     print(trace.summary())
     traffic = trace.per_proc_send() + trace.per_proc_recv()
@@ -1020,6 +1149,8 @@ def _run_faults(args) -> int:
 
 
 def _dispatch(args) -> int:
+    if args.command == "batch":
+        return _run_batch(args)
     if args.command == "faults":
         return _run_faults(args)
     if args.command == "chaos":
@@ -1043,6 +1174,7 @@ def _dispatch(args) -> int:
             mesh=tuple(args.mesh),
             capacity_multiplier=args.capacity_multiplier,
             seed=args.seed,
+            workers=args.workers,
         )
         print(render_table(table))
     elif args.command == "extended":

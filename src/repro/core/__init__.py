@@ -12,7 +12,15 @@ paper's communication-cost objective.  ``get_scheduler`` returns a
 frozen :class:`SchedulerSpec` — a uniformly-shaped callable carrying
 algorithm metadata; the ``repro.schedule`` facade in :mod:`repro.api`
 is the preferred front door.
+
+Calling ``scds``/``lomcds``/``gomcds`` through this package (or
+``repro``) emits a :class:`DeprecationWarning` pointing at the facade;
+the implementations in the submodules stay warning-free for internal
+use and for ``SCHEDULERS``/``SchedulerSpec.func``.
 """
+
+import functools as _functools
+import warnings as _warnings
 
 from .cost import CostModel
 from .budget import gomcds_budgeted, movement_frontier
@@ -47,8 +55,36 @@ from .registry import (
     get_scheduler,
     scheduler_spec,
 )
+from .kernels import KERNELS, resolve_kernel
 from .scds import scds
 from .schedule import Schedule
+
+
+def _deprecated_entry_point(func, algorithm):
+    """Wrap a scheduler so direct calls steer users to the facade.
+
+    ``SCHEDULERS`` and the specs keep the raw function; only the names
+    re-exported here (the public direct-call surface) warn.
+    """
+
+    @_functools.wraps(func)
+    def wrapper(*args, **kwargs):
+        _warnings.warn(
+            f"calling {algorithm}() directly is deprecated; use "
+            f"repro.schedule(..., algorithm={algorithm!r}) or "
+            "repro.schedule_many()",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return func(*args, **kwargs)
+
+    wrapper.__wrapped_scheduler__ = func
+    return wrapper
+
+
+scds = _deprecated_entry_point(scds, "scds")
+lomcds = _deprecated_entry_point(lomcds, "lomcds")
+gomcds = _deprecated_entry_point(gomcds, "gomcds")
 
 __all__ = [
     "CostModel",
@@ -86,4 +122,6 @@ __all__ = [
     "SchedulerSpec",
     "SCHEDULERS",
     "SCHEDULER_SPECS",
+    "KERNELS",
+    "resolve_kernel",
 ]

@@ -16,6 +16,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..schema import SCHEMA_VERSION, check_schema
 from ..trace import ReferenceTensor
 from .cost import CostModel
 from .schedule import Schedule
@@ -46,10 +47,20 @@ class CostBreakdown:
         """Serializable record (``kind`` discriminates result types)."""
         return {
             "kind": "cost_breakdown",
+            "schema_version": SCHEMA_VERSION,
             "reference_cost": self.reference_cost,
             "movement_cost": self.movement_cost,
             "total": self.total,
         }
+
+    @staticmethod
+    def from_dict(payload: dict) -> "CostBreakdown":
+        """Inverse of :meth:`to_dict` (with schema-version checking)."""
+        check_schema(payload, "cost_breakdown")
+        return CostBreakdown(
+            reference_cost=float(payload["reference_cost"]),
+            movement_cost=float(payload["movement_cost"]),
+        )
 
     def summary(self) -> str:
         """One-line human summary, consumed by the observability exporters."""

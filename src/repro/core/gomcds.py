@@ -27,6 +27,11 @@ from ..mem import CapacityError, CapacityPlan, OccupancyTracker
 from ..obs import Instrumentation, resolve
 from ..trace import ReferenceTensor
 from .cost import CostModel
+from .kernels import (
+    placement_cost_tensor_python,
+    resolve_kernel,
+    shortest_center_path_python,
+)
 from .schedule import Schedule
 
 __all__ = ["gomcds", "shortest_center_path"]
@@ -171,6 +176,7 @@ def gomcds(
     capacity: CapacityPlan | None = None,
     *,
     certify: bool = False,
+    kernel: str | None = None,
     instrument: Instrumentation | None = None,
 ) -> Schedule:
     """Global-optimal multiple-center scheduling (paper's Algorithm 2).
@@ -187,8 +193,14 @@ def gomcds(
     in ``meta["certificate"]``: the DP's forward value tables double as
     shortest-path node potentials, so :mod:`repro.verify` can prove each
     path optimal (within its admissible mask) without trusting the solver.
+
+    ``kernel`` selects the vectorized DP (``"numpy"``, default — one
+    ``(D, m, m)`` broadcast per window) or the scalar reference oracle
+    (``"python"`` — the paper's pseudocode, loop by loop); both produce
+    bit-identical schedules and certificates.
     """
     obs = resolve(instrument)
+    kernel = resolve_kernel(kernel)
     n_data, n_windows = tensor.n_data, tensor.n_windows
     with obs.span(
         "scheduler.gomcds",
@@ -196,9 +208,13 @@ def gomcds(
         n_windows=n_windows,
         n_procs=model.n_procs,
         constrained=capacity is not None,
+        kernel=kernel,
     ):
         with obs.span("gomcds.cost_tensor"):
-            costs = model.all_placement_costs(tensor)  # (D, W, m)
+            if kernel == "python":
+                costs = placement_cost_tensor_python(tensor, model)
+            else:
+                costs = model.all_placement_costs(tensor)  # (D, W, m)
         dist = model.distances.astype(np.float64)
         vols = (
             np.ones(n_data)
@@ -206,10 +222,35 @@ def gomcds(
             else np.asarray(model.volumes, dtype=np.float64)
         )
         obs.gauge("gomcds.dp_cells", n_data * n_windows * model.n_procs)
+        solve_path = (
+            shortest_center_path_python
+            if kernel == "python"
+            else shortest_center_path
+        )
 
         if capacity is None:
             with obs.span("gomcds.dp_sweep"):
-                if certify:
+                if kernel == "python":
+                    centers = np.empty((n_data, n_windows), dtype=np.int64)
+                    potentials = (
+                        np.empty((n_data, n_windows, model.n_procs))
+                        if certify
+                        else None
+                    )
+                    for d in range(n_data):
+                        if certify:
+                            centers[d], _, potentials[d] = solve_path(
+                                costs[d], vols[d] * dist,
+                                return_potentials=True,
+                            )
+                        else:
+                            centers[d], _ = solve_path(costs[d], vols[d] * dist)
+                    meta = (
+                        {"certificate": _certificate(potentials)}
+                        if certify
+                        else {}
+                    )
+                elif certify:
                     centers, potentials = _all_paths_vectorized(
                         costs, dist, vols, return_potentials=True
                     )
@@ -240,12 +281,12 @@ def gomcds(
                 allowed = tracker.available_mask()
                 if certify:
                     masks[d] = allowed
-                    path, _, potentials[d] = shortest_center_path(
+                    path, _, potentials[d] = solve_path(
                         costs[d], vols[d] * dist, allowed=allowed,
                         return_potentials=True,
                     )
                 else:
-                    path, _ = shortest_center_path(
+                    path, _ = solve_path(
                         costs[d], vols[d] * dist, allowed=allowed
                     )
                 tracker.claim_path(path)

@@ -16,6 +16,13 @@ from ..mem import CapacityPlan, OccupancyTracker, first_available
 from ..obs import Instrumentation, resolve
 from ..trace import ReferenceTensor
 from .cost import CostModel
+from .kernels import (
+    hold_position_numpy,
+    hold_position_python,
+    local_argmin_python,
+    placement_cost_tensor_python,
+    resolve_kernel,
+)
 from .schedule import Schedule
 
 __all__ = ["lomcds"]
@@ -26,6 +33,7 @@ def lomcds(
     model: CostModel,
     capacity: CapacityPlan | None = None,
     *,
+    kernel: str | None = None,
     instrument: Instrumentation | None = None,
 ) -> Schedule:
     """Per-window local-optimal centers for every datum.
@@ -34,9 +42,12 @@ def lomcds(
     preference there; it stays wherever the previous window put it (no
     gratuitous movement), which matches the paper's run-time behaviour of
     only moving data "to such centers according to these execution
-    windows".
+    windows".  ``kernel`` selects the vectorized path (``"numpy"``,
+    default) or the scalar reference oracle (``"python"``); both produce
+    bit-identical schedules.
     """
     obs = resolve(instrument)
+    kernel = resolve_kernel(kernel)
     n_data, n_windows = tensor.n_data, tensor.n_windows
     with obs.span(
         "scheduler.lomcds",
@@ -44,15 +55,23 @@ def lomcds(
         n_windows=n_windows,
         n_procs=model.n_procs,
         constrained=capacity is not None,
+        kernel=kernel,
     ):
         with obs.span("lomcds.cost_tensor"):
-            costs = model.all_placement_costs(tensor)  # (D, W, m)
+            if kernel == "python":
+                costs = placement_cost_tensor_python(tensor, model)
+            else:
+                costs = model.all_placement_costs(tensor)  # (D, W, m)
         referenced = tensor.counts.sum(axis=2) > 0  # (D, W)
 
         if capacity is None:
             with obs.span("lomcds.local_argmin"):
-                centers = costs.argmin(axis=2)  # (D, W) lowest-pid tie-break
-                _hold_position_when_idle(centers, referenced)
+                if kernel == "python":
+                    centers = local_argmin_python(costs)
+                    hold_position_python(centers, referenced)
+                else:
+                    centers = costs.argmin(axis=2)  # lowest-pid tie-break
+                    hold_position_numpy(centers, referenced)
             return Schedule(
                 centers=centers, windows=tensor.windows, method="LOMCDS"
             )
@@ -86,26 +105,3 @@ def lomcds(
         return Schedule(
             centers=centers, windows=tensor.windows, method="LOMCDS"
         )
-
-
-def _hold_position_when_idle(centers: np.ndarray, referenced: np.ndarray) -> None:
-    """Forward-fill centers across windows where a datum is unreferenced.
-
-    Operates in place on the unconstrained center matrix.  Windows before
-    a datum's first reference copy the first referenced center backward,
-    so the initial placement is already useful.
-    """
-    n_data, n_windows = centers.shape
-    for d in range(n_data):
-        refs = np.nonzero(referenced[d])[0]
-        if len(refs) == 0:
-            centers[d, :] = centers[d, 0]
-            continue
-        first = refs[0]
-        centers[d, :first] = centers[d, first]
-        last_center = centers[d, first]
-        for w in range(first + 1, n_windows):
-            if referenced[d, w]:
-                last_center = centers[d, w]
-            else:
-                centers[d, w] = last_center

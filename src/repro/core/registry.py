@@ -15,7 +15,8 @@ backwards compatibility.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import warnings
+from dataclasses import dataclass, field
 from typing import Callable
 
 from ..obs import Instrumentation
@@ -54,6 +55,12 @@ class SchedulerSpec:
         Whether the algorithm sees windows one at a time (no lookahead).
     description:
         One-line summary for tables and ``repro profile`` output.
+    supported_kwargs:
+        Algorithm-specific keywords beyond the uniform
+        ``(tensor, model, capacity, instrument)`` surface.  The
+        :func:`repro.schedule` facade validates against this so a typo'd
+        or unsupported option fails with the supported list instead of a
+        bare ``TypeError`` from deep inside the solver.
     """
 
     name: str
@@ -62,6 +69,7 @@ class SchedulerSpec:
     movement_aware: bool
     online: bool
     description: str
+    supported_kwargs: tuple[str, ...] = field(default=())
 
     def __call__(
         self,
@@ -83,6 +91,7 @@ class SchedulerSpec:
             "movement_aware": self.movement_aware,
             "online": self.online,
             "description": self.description,
+            "supported_kwargs": list(self.supported_kwargs),
         }
 
 
@@ -96,6 +105,7 @@ SCHEDULER_SPECS: dict[str, SchedulerSpec] = {
             movement_aware=False,
             online=False,
             description="single static center per datum (Algorithm 1)",
+            supported_kwargs=("kernel",),
         ),
         SchedulerSpec(
             name="LOMCDS",
@@ -104,6 +114,7 @@ SCHEDULER_SPECS: dict[str, SchedulerSpec] = {
             movement_aware=False,
             online=False,
             description="per-window local-optimal centers (§3.2.1)",
+            supported_kwargs=("kernel",),
         ),
         SchedulerSpec(
             name="GOMCDS",
@@ -112,6 +123,7 @@ SCHEDULER_SPECS: dict[str, SchedulerSpec] = {
             movement_aware=True,
             online=False,
             description="cost-graph shortest-path centers (Algorithm 2)",
+            supported_kwargs=("certify", "kernel"),
         ),
         SchedulerSpec(
             name="OMCDS",
@@ -120,6 +132,7 @@ SCHEDULER_SPECS: dict[str, SchedulerSpec] = {
             movement_aware=True,
             online=True,
             description="online hysteresis scheduling (extension)",
+            supported_kwargs=("hysteresis",),
         ),
     )
 }
@@ -141,11 +154,20 @@ def scheduler_spec(name: str) -> SchedulerSpec:
 
 
 def get_scheduler(name: str) -> SchedulerSpec:
-    """Look up a scheduler by its paper name (case-insensitive).
+    """Deprecated alias for :func:`scheduler_spec`.
 
     Returns the :class:`SchedulerSpec` — a callable with the uniform
     ``(tensor, model, capacity=None, *, instrument=None, **kwargs)``
     shape — so existing ``get_scheduler(name)(tensor, model, cap)``
-    call sites keep working while gaining instrumentation support.
+    call sites keep working.  New code should call
+    :func:`repro.schedule`/:func:`repro.schedule_many` (or
+    :func:`scheduler_spec` for metadata).
     """
+    warnings.warn(
+        "get_scheduler() is deprecated; use repro.schedule(..., "
+        "algorithm=name) / repro.schedule_many(), or scheduler_spec() "
+        "for algorithm metadata",
+        DeprecationWarning,
+        stacklevel=2,
+    )
     return scheduler_spec(name)

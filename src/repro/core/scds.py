@@ -16,6 +16,11 @@ from ..mem import CapacityPlan, OccupancyTracker, first_available
 from ..obs import Instrumentation, resolve
 from ..trace import ReferenceTensor
 from .cost import CostModel
+from .kernels import (
+    merged_totals_python,
+    placement_cost_tensor_python,
+    resolve_kernel,
+)
 from .schedule import Schedule
 
 __all__ = ["scds"]
@@ -26,6 +31,7 @@ def scds(
     model: CostModel,
     capacity: CapacityPlan | None = None,
     *,
+    kernel: str | None = None,
     instrument: Instrumentation | None = None,
 ) -> Schedule:
     """Single-center placement for every datum (paper's Algorithm 1).
@@ -41,6 +47,10 @@ def scds(
         which case every datum lands exactly on its merged-window optimal
         center.  With a constraint, data are assigned in descending
         reference-volume order and each walks its processor list.
+    kernel:
+        ``"numpy"`` (default) for the vectorized cost accumulation,
+        ``"python"`` for the scalar reference oracle — bit-identical
+        results (see :mod:`repro.core.kernels`).
 
     Returns
     -------
@@ -48,6 +58,7 @@ def scds(
     constant across windows).
     """
     obs = resolve(instrument)
+    kernel = resolve_kernel(kernel)
     n_data = tensor.n_data
     with obs.span(
         "scheduler.scds",
@@ -55,11 +66,17 @@ def scds(
         n_windows=tensor.n_windows,
         n_procs=model.n_procs,
         constrained=capacity is not None,
+        kernel=kernel,
     ):
         # Line 2-4 of Algorithm 1: cost of putting datum i at node j, with
         # all windows collected together.
         with obs.span("scds.cost_tensor"):
-            totals = model.all_placement_costs(tensor).sum(axis=1)  # (D, m)
+            if kernel == "python":
+                totals = merged_totals_python(
+                    placement_cost_tensor_python(tensor, model)
+                )
+            else:
+                totals = model.all_placement_costs(tensor).sum(axis=1)  # (D, m)
 
         if capacity is None:
             # Stable argmin = lowest-pid tie-breaking.

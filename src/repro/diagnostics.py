@@ -299,6 +299,25 @@ class Diagnostic:
             out["hint"] = self.hint
         return out
 
+    @staticmethod
+    def from_dict(payload: dict) -> "Diagnostic":
+        """Inverse of :meth:`to_dict` (for report loaders)."""
+        if not isinstance(payload, dict):
+            raise ValueError(
+                f"a diagnostic must be a mapping, got {type(payload).__name__}"
+            )
+        coords = {
+            key: None if payload.get(key) is None else int(payload[key])
+            for key in ("datum", "window", "processor")
+        }
+        return Diagnostic(
+            code=str(payload["code"]),
+            severity=Severity.parse(payload["severity"]),
+            message=str(payload["message"]),
+            hint=payload.get("hint"),
+            **coords,
+        )
+
     def render(self) -> str:
         """One-line human rendering: ``code severity: message (coords)``."""
         suffix = coord_suffix(self.datum, self.window, self.processor)

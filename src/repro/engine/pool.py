@@ -1,0 +1,191 @@
+"""Batch fan-out: solve many scheduling requests as one operation.
+
+``schedule_many`` is the throughput face of the :func:`repro.schedule`
+facade.  It takes a list of :class:`ScheduleRequest` descriptions and
+returns one schedule per request, in request order, with three
+optimizations stacked underneath:
+
+* **dedup** — requests that canonicalize to the same content address
+  (:func:`repro.engine.cache.solve_key`) are solved once;
+* **cache** — an optional shared :class:`~repro.engine.cache.SolveCache`
+  answers repeats across batches (and across processes, via its disk
+  store) without running a solver;
+* **fan-out** — remaining unique solves dispatch over a process pool
+  when ``workers > 1``.
+
+Result ordering is deterministic and *independent of worker count*:
+outputs are keyed by content address and re-assembled in request order,
+so ``workers=8`` returns exactly what ``workers=1`` returns.  Worker
+processes solve with a no-op instrumentation handle (handles do not
+cross process boundaries); the parent records one ``engine.request``
+span per unique solve plus batch-level counters.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from time import perf_counter
+from typing import Mapping, Sequence
+
+from ..core import Schedule, scheduler_spec
+from ..obs import Instrumentation, resolve
+from .cache import SolveCache, solve_key
+
+__all__ = ["ScheduleRequest", "schedule_many"]
+
+
+@dataclass(frozen=True)
+class ScheduleRequest:
+    """One unit of batch work: a problem plus how to solve it.
+
+    ``options`` holds algorithm-specific keywords exactly as
+    :func:`repro.schedule` accepts them (``certify``, ``kernel``,
+    ``hysteresis``); ``label`` is free-form and only used for spans and
+    human-readable output — it does not participate in the cache key.
+    """
+
+    tensor: object
+    model: object
+    capacity: object = None
+    algorithm: str = "gomcds"
+    options: Mapping = field(default_factory=dict)
+    label: str | None = None
+
+    def solve_key(self) -> str:
+        """Content address of this request (see :mod:`repro.engine.cache`)."""
+        return solve_key(
+            self.tensor,
+            self.model,
+            self.capacity,
+            self.algorithm,
+            dict(self.options),
+        )
+
+
+def _effective_options(request: ScheduleRequest, kernel: str | None) -> dict:
+    """Request options with the batch-level kernel default applied.
+
+    A kernel named by the request itself wins; the batch default only
+    fills the gap, and only for algorithms that accept one.
+    """
+    options = dict(request.options)
+    if kernel is not None and "kernel" not in options:
+        spec = scheduler_spec(request.algorithm)
+        if "kernel" in spec.supported_kwargs:
+            options["kernel"] = kernel
+    return options
+
+
+def _solve_one(request: ScheduleRequest, kernel: str | None):
+    """Solve a single request; runs in worker processes (no-op obs)."""
+    from ..api import schedule
+
+    start = perf_counter()
+    solved = schedule(
+        request.tensor,
+        request.model,
+        algorithm=request.algorithm,
+        capacity=request.capacity,
+        **_effective_options(request, kernel),
+    )
+    return solved, perf_counter() - start
+
+
+def schedule_many(
+    requests: Sequence[ScheduleRequest],
+    *,
+    workers: int = 1,
+    cache: SolveCache | None = None,
+    kernel: str | None = None,
+    instrument: Instrumentation | None = None,
+) -> list[Schedule]:
+    """Solve every request, in order, with dedup + cache + fan-out.
+
+    Parameters
+    ----------
+    requests:
+        The batch; duplicates (same content address) are solved once.
+    workers:
+        Process-pool width for the unique cache misses.  ``1`` (the
+        default) solves inline; any value returns identical results.
+    cache:
+        Optional shared :class:`SolveCache`.  When given, results are
+        the cache's deep-frozen copies (read-only arrays) and repeats
+        across calls are answered without solving.
+    kernel:
+        Batch-wide default solver kernel, overridable per request via
+        ``options["kernel"]``.
+    instrument:
+        Parent-side instrumentation; counters land under ``engine.*``.
+
+    Returns
+    -------
+    ``list[Schedule]`` aligned with ``requests``.
+    """
+    obs = resolve(instrument)
+    requests = list(requests)
+    for i, request in enumerate(requests):
+        if not isinstance(request, ScheduleRequest):
+            raise TypeError(
+                f"requests[{i}] is {type(request).__name__}, expected "
+                "ScheduleRequest"
+            )
+    if workers < 1:
+        raise ValueError("workers must be positive")
+    if not requests:
+        return []
+
+    with obs.span(
+        "engine.batch",
+        n_requests=len(requests),
+        workers=workers,
+        cached=cache is not None,
+    ):
+        keys = [request.solve_key() for request in requests]
+        solved: dict[str, Schedule] = {}
+        pending: list[tuple[str, ScheduleRequest]] = []
+        pending_keys: set[str] = set()
+        for key, request in zip(keys, requests):
+            if key in solved or key in pending_keys:
+                continue
+            hit = cache.get(key, instrument=obs) if cache is not None else None
+            if hit is not None:
+                solved[key] = hit
+            else:
+                pending.append((key, request))
+                pending_keys.add(key)
+        obs.count("engine.batch.requests", len(requests))
+        obs.count(
+            "engine.batch.dedup_hits",
+            len(requests) - len(solved) - len(pending),
+        )
+
+        if workers == 1 or len(pending) <= 1:
+            outcomes = []
+            for key, request in pending:
+                with obs.span(
+                    "engine.request",
+                    algorithm=request.algorithm,
+                    label=request.label,
+                ):
+                    outcomes.append(_solve_one(request, kernel))
+        else:
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                futures = [
+                    pool.submit(_solve_one, request, kernel)
+                    for _, request in pending
+                ]
+                outcomes = [future.result() for future in futures]
+
+        for (key, request), (schedule_result, elapsed) in zip(
+            pending, outcomes
+        ):
+            obs.observe("engine.request_us", elapsed * 1e6)
+            if cache is not None:
+                schedule_result = cache.put(
+                    key, schedule_result, instrument=obs
+                )
+            solved[key] = schedule_result
+        obs.count("engine.batch.solved", len(pending))
+    return [solved[key] for key in keys]

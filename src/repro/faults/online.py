@@ -59,6 +59,7 @@ from ..diagnostics import (
 )
 from ..mem import CapacityError
 from ..obs import Instrumentation, resolve
+from ..schema import SCHEMA_VERSION, check_schema
 from .injector import RetryPolicy
 from .plan import FaultConfigError, FaultPlan, LinkFault, NodeFault
 
@@ -327,6 +328,18 @@ class RecoveryEvent:
             "retry_deadline": self.retry_deadline,
         }
 
+    @staticmethod
+    def from_dict(payload: dict) -> "RecoveryEvent":
+        return RecoveryEvent(
+            window=int(payload["window"]),
+            faults=tuple(str(f) for f in payload.get("faults", [])),
+            rollback_to=int(payload["rollback_to"]),
+            rollback_depth=int(payload["rollback_depth"]),
+            rescheduled=bool(payload["rescheduled"]),
+            wasted_cost=float(payload["wasted_cost"]),
+            retry_deadline=int(payload["retry_deadline"]),
+        )
+
 
 @dataclass
 class RecoveryReport:
@@ -376,6 +389,7 @@ class RecoveryReport:
     def to_dict(self) -> dict:
         return {
             "kind": "recovery_report",
+            "schema_version": SCHEMA_VERSION,
             "mode": self.mode,
             "checkpoint_interval": self.checkpoint_interval,
             "n_detections": self.n_detections,
@@ -396,6 +410,40 @@ class RecoveryReport:
             "events": [e.to_dict() for e in self.events],
             "sim": self.sim.to_dict(),
         }
+
+    @staticmethod
+    def from_dict(payload: dict) -> "RecoveryReport":
+        """Inverse of :meth:`to_dict` (with schema-version checking).
+
+        The nested ``sim`` block is loaded through
+        :meth:`~repro.sim.SimReport.from_dict`, so its version is
+        checked too; derived flags (``recoverable``, ``data_preserved``)
+        are recomputed rather than trusted.
+        """
+        from ..sim import SimReport
+
+        check_schema(payload, "recovery_report")
+        return RecoveryReport(
+            sim=SimReport.from_dict(payload["sim"]),
+            mode=str(payload["mode"]),
+            checkpoint_interval=int(payload["checkpoint_interval"]),
+            events=[
+                RecoveryEvent.from_dict(e) for e in payload.get("events", [])
+            ],
+            n_detections=int(payload["n_detections"]),
+            n_rollbacks=int(payload["n_rollbacks"]),
+            windows_replayed=int(payload["windows_replayed"]),
+            max_rollback_depth=int(payload["max_rollback_depth"]),
+            wasted_cost=float(payload["wasted_cost"]),
+            n_replica_served=int(payload["n_replica_served"]),
+            n_replica_promoted=int(payload["n_replica_promoted"]),
+            n_degraded_refs=int(payload["n_degraded_refs"]),
+            n_degraded_lost=int(payload["n_degraded_lost"]),
+            reschedule_failures=int(payload["reschedule_failures"]),
+            restore_mismatches=int(payload["restore_mismatches"]),
+            budget_exhausted=bool(payload["budget_exhausted"]),
+            recovery_latency_s=float(payload["recovery_latency_s"]),
+        )
 
     def summary(self) -> str:
         line = (

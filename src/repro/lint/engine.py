@@ -13,6 +13,7 @@ from typing import Iterable, Mapping
 
 from ..diagnostics import Diagnostic, Severity
 from ..obs import Instrumentation, resolve
+from ..schema import SCHEMA_VERSION, check_schema
 from .context import LintContext
 from .registry import RULES, resolve_codes
 
@@ -128,6 +129,7 @@ class LintReport:
         return {
             "kind": "lint_report",
             "version": 1,
+            "schema_version": SCHEMA_VERSION,
             "diagnostics": [d.to_dict() for d in self.diagnostics],
             "rules_run": list(self.rules_run),
             "rules_skipped": list(self.rules_skipped),
@@ -138,6 +140,22 @@ class LintReport:
                 "exit_code": self.exit_code,
             },
         }
+
+    @staticmethod
+    def from_dict(payload: dict) -> "LintReport":
+        """Inverse of :meth:`to_dict` (with schema-version checking).
+
+        Counts and the exit code are recomputed from the diagnostics,
+        not trusted from the serialized summary block.
+        """
+        check_schema(payload, "lint_report")
+        return LintReport(
+            diagnostics=[
+                Diagnostic.from_dict(d) for d in payload.get("diagnostics", [])
+            ],
+            rules_run=[str(c) for c in payload.get("rules_run", [])],
+            rules_skipped=[str(c) for c in payload.get("rules_skipped", [])],
+        )
 
     def summary(self) -> str:
         """One-line human summary, consumed by the observability exporters."""

@@ -93,7 +93,7 @@ def workload_context(
     This is the CI gating path: every bundled benchmark scheduled by the
     production scheduler must lint clean.
     """
-    from ..core import CostModel, get_scheduler
+    from ..core import CostModel, scheduler_spec
     from ..workloads import benchmark
 
     workload = benchmark(bench, size, topology, seed=seed)
@@ -102,7 +102,7 @@ def workload_context(
     capacity = CapacityPlan.paper_rule(
         workload.n_data, topology.n_procs, multiplier=capacity_multiplier
     )
-    schedule = get_scheduler(scheduler)(tensor, model, capacity)
+    schedule = scheduler_spec(scheduler)(tensor, model, capacity)
     return LintContext(
         schedule=schedule,
         trace=workload.trace,

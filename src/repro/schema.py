@@ -1,0 +1,62 @@
+"""Versioning for the unified result protocol (`to_dict` payloads).
+
+Every report the toolchain serializes — :class:`~repro.core.CostBreakdown`,
+:class:`~repro.sim.SimReport`, :class:`~repro.lint.LintReport`,
+:class:`~repro.verify.CertifyReport`, :class:`~repro.faults.RecoveryReport`
+— stamps its payload with ``schema_version`` so artifacts written by one
+toolchain version are never silently misread by another.  Loaders call
+:func:`check_schema` before reconstructing; a payload with the wrong
+``kind``, a missing version, or a version newer than this toolchain
+understands fails loudly with a message naming the mismatch.
+
+The version is global across report kinds (they evolve together in one
+repository) and bumps only on breaking payload changes; additive keys do
+not require a bump because loaders ignore keys they don't know.
+"""
+
+from __future__ import annotations
+
+__all__ = ["SCHEMA_VERSION", "SchemaError", "check_schema"]
+
+#: Current payload schema version for every report ``to_dict``.
+SCHEMA_VERSION = 1
+
+
+class SchemaError(ValueError):
+    """A serialized report payload cannot be loaded by this toolchain."""
+
+
+def check_schema(payload: dict, kind: str) -> int:
+    """Validate ``payload``'s envelope; returns its schema version.
+
+    Raises :class:`SchemaError` when the payload is not a mapping, is of
+    a different ``kind``, carries no ``schema_version``, or was written
+    by a *newer* toolchain.  Older (smaller) versions are returned for
+    the caller to interpret — version 1 is the floor.
+    """
+    if not isinstance(payload, dict):
+        raise SchemaError(
+            f"a {kind} payload must be a mapping, got {type(payload).__name__}"
+        )
+    found = payload.get("kind")
+    if found != kind:
+        raise SchemaError(
+            f"payload kind mismatch: expected {kind!r}, got {found!r}"
+        )
+    version = payload.get("schema_version")
+    if version is None:
+        raise SchemaError(
+            f"{kind} payload has no schema_version; it predates the "
+            "versioned result protocol — re-export it with a current "
+            "toolchain"
+        )
+    if not isinstance(version, int) or isinstance(version, bool) or version < 1:
+        raise SchemaError(
+            f"{kind} payload carries invalid schema_version {version!r}"
+        )
+    if version > SCHEMA_VERSION:
+        raise SchemaError(
+            f"{kind} payload has schema_version {version}, but this "
+            f"toolchain only understands <= {SCHEMA_VERSION}; upgrade to load it"
+        )
+    return version

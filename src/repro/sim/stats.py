@@ -8,6 +8,7 @@ import numpy as np
 
 from ..core.evaluate import CostBreakdown
 from ..grid import Link, link_key, parse_link_key
+from ..schema import SCHEMA_VERSION, check_schema
 
 __all__ = ["SimReport"]
 
@@ -119,6 +120,7 @@ class SimReport:
         """Serializable record (``kind`` discriminates result types)."""
         return {
             "kind": "sim_report",
+            "schema_version": SCHEMA_VERSION,
             "reference_cost": self.reference_cost,
             "movement_cost": self.movement_cost,
             "total_cost": self.total_cost,
@@ -149,6 +151,42 @@ class SimReport:
                 else [float(c) for c in self.per_window_cost]
             ),
         }
+
+    @staticmethod
+    def from_dict(payload: dict) -> "SimReport":
+        """Inverse of :meth:`to_dict` (with schema-version checking).
+
+        Derived quantities (``total_cost``, ``completion_rate``, link
+        aggregates) are recomputed, not trusted from the payload.
+        """
+        check_schema(payload, "sim_report")
+        shape = payload.get("topology_shape")
+        shape = None if shape is None else tuple(int(x) for x in shape)
+        per_window = payload.get("per_window_cost")
+        return SimReport(
+            reference_cost=float(payload["reference_cost"]),
+            movement_cost=float(payload["movement_cost"]),
+            n_fetches=int(payload["n_fetches"]),
+            n_local_fetches=int(payload["n_local_fetches"]),
+            n_moves=int(payload["n_moves"]),
+            link_traffic=SimReport.parse_link_traffic(
+                payload.get("link_traffic", {}), shape
+            ),
+            per_window_cost=(
+                None if per_window is None else np.asarray(per_window, float)
+            ),
+            topology_shape=shape,
+            n_delivered=int(payload["n_delivered"]),
+            n_retries=int(payload["n_retries"]),
+            n_dropped=int(payload["n_dropped"]),
+            n_unreachable=int(payload["n_unreachable"]),
+            n_evacuated=int(payload["n_evacuated"]),
+            n_lost=int(payload["n_lost"]),
+            n_skipped_moves=int(payload["n_skipped_moves"]),
+            evacuation_cost=float(payload["evacuation_cost"]),
+            retry_cost=float(payload["retry_cost"]),
+            retry_wait_cycles=float(payload["retry_wait_cycles"]),
+        )
 
     def summary(self) -> str:
         """One-line human summary, consumed by the observability exporters."""

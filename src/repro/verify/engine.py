@@ -28,6 +28,7 @@ from ..diagnostics import DIVERGENCE_CODES, VER005, Diagnostic, Severity
 from ..faults import FaultPlan, RetryPolicy
 from ..mem import CapacityPlan
 from ..obs import Instrumentation, resolve
+from ..schema import SCHEMA_VERSION, check_schema
 from ..trace import ReferenceTensor, Trace, build_reference_tensor
 from .abstract import interpret_schedule
 from .certificate import certificate_of, check_certificate
@@ -94,6 +95,7 @@ class CertifyReport:
     def to_dict(self) -> dict:
         return {
             "kind": "certify-report",
+            "schema_version": SCHEMA_VERSION,
             "label": self.label,
             "checks": list(self.checks),
             "certified_data": self.certified_data,
@@ -105,6 +107,24 @@ class CertifyReport:
             "exit_code": self.exit_code,
             "facts": self.facts,
         }
+
+    @staticmethod
+    def from_dict(payload: dict) -> "CertifyReport":
+        """Inverse of :meth:`to_dict` (with schema-version checking).
+
+        Severity counts, divergence and the exit code are recomputed
+        from the diagnostics, not trusted from the payload.
+        """
+        check_schema(payload, "certify-report")
+        return CertifyReport(
+            label=str(payload["label"]),
+            diagnostics=[
+                Diagnostic.from_dict(d) for d in payload.get("diagnostics", [])
+            ],
+            checks=[str(c) for c in payload.get("checks", [])],
+            facts=dict(payload.get("facts", {})),
+            certified_data=int(payload.get("certified_data", 0)),
+        )
 
     def summary(self) -> str:
         verdict = {
@@ -242,7 +262,7 @@ def certify_workload(
     the fault-aware rescheduler when ``faults`` is given) — then runs
     the full pillar stack.
     """
-    from ..core import CostModel, get_scheduler, reschedule_around_faults
+    from ..core import CostModel, reschedule_around_faults, scheduler_spec
     from ..workloads import benchmark
 
     workload = benchmark(bench, size, topology, seed=seed)
@@ -258,11 +278,11 @@ def certify_workload(
             instrument=instrument,
         )
     elif name == "GOMCDS":
-        schedule = get_scheduler(name)(
+        schedule = scheduler_spec(name)(
             tensor, model, capacity, certify=True, instrument=instrument
         )
     else:
-        schedule = get_scheduler(name)(
+        schedule = scheduler_spec(name)(
             tensor, model, capacity, instrument=instrument
         )
     return certify_schedule(

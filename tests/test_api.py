@@ -11,7 +11,6 @@ from repro import schedule
 from repro.core import (
     SCHEDULER_SPECS,
     SCHEDULERS,
-    CostModel,
     SchedulerSpec,
     evaluate_schedule,
     get_scheduler,
@@ -141,3 +140,69 @@ def test_results_interchangeable_in_exporters(lu8, lu8_tensor, model44):
     text = to_jsonl(Instrumentation.started(), results=results)
     kinds = [json.loads(line)["kind"] for line in text.splitlines()]
     assert kinds == ["cost_breakdown", "sim_report", "lint_report"]
+
+
+# --- facade options: certify= / kernel= / kwarg validation ------------------
+
+
+def test_facade_certify_flag_attaches_certificate(lu8_tensor, model44):
+    sched = schedule(lu8_tensor, model44, certify=True)
+    assert sched.meta["certificate"]["kind"] == "gomcds-potentials"
+
+
+def test_facade_kernel_flag_is_bit_identical(lu8_tensor, model44):
+    fast = schedule(lu8_tensor, model44, kernel="numpy")
+    slow = schedule(lu8_tensor, model44, kernel="python")
+    assert np.array_equal(fast.centers, slow.centers)
+
+
+def test_facade_rejects_unsupported_kwargs(lu8_tensor, model44):
+    with pytest.raises(TypeError, match="certify"):
+        schedule(lu8_tensor, model44, algorithm="scds", certify=True)
+    with pytest.raises(TypeError, match="hysteresis"):
+        schedule(lu8_tensor, model44, algorithm="gomcds", hysteresis=2.0)
+
+
+def test_facade_rejects_unknown_kernel(lu8_tensor, model44):
+    with pytest.raises(ValueError, match="python"):
+        schedule(lu8_tensor, model44, kernel="fortran")
+
+
+def test_spec_reports_supported_kwargs():
+    assert SCHEDULER_SPECS["GOMCDS"].supported_kwargs == ("certify", "kernel")
+    assert SCHEDULER_SPECS["OMCDS"].supported_kwargs == ("hysteresis",)
+    for name, spec in SCHEDULER_SPECS.items():
+        assert spec.to_dict()["supported_kwargs"] == list(
+            spec.supported_kwargs
+        )
+
+
+# --- deprecated entry points ------------------------------------------------
+
+
+def test_direct_scheduler_calls_warn(lu8_tensor, model44):
+    with pytest.warns(DeprecationWarning, match="repro.schedule"):
+        scds(lu8_tensor, model44)
+    with pytest.warns(DeprecationWarning, match="repro.schedule"):
+        lomcds(lu8_tensor, model44)
+    with pytest.warns(DeprecationWarning, match="repro.schedule"):
+        gomcds(lu8_tensor, model44)
+
+
+def test_get_scheduler_warns():
+    with pytest.warns(DeprecationWarning, match="scheduler_spec"):
+        get_scheduler("gomcds")
+
+
+def test_facade_and_scheduler_spec_do_not_warn(lu8_tensor, model44):
+    import warnings
+
+    with warnings.catch_warnings():
+        warnings.simplefilter("error", DeprecationWarning)
+        schedule(lu8_tensor, model44)
+        scheduler_spec("GOMCDS")(lu8_tensor, model44)
+
+
+def test_deprecated_wrappers_expose_the_raw_scheduler():
+    assert scds.__wrapped_scheduler__ is SCHEDULERS["SCDS"]
+    assert SCHEDULER_SPECS["SCDS"].func is SCHEDULERS["SCDS"]

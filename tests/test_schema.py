@@ -1,0 +1,139 @@
+"""Report schema versioning: every ``to_dict`` stamps ``schema_version``
+and every ``from_dict`` loader checks it before reconstructing."""
+
+import pytest
+
+from repro import schedule
+from repro.core.evaluate import CostBreakdown, evaluate_schedule
+from repro.faults import FaultPlan
+from repro.faults.online import RecoveryPolicy, RecoveryReport, replay_with_recovery
+from repro.lint import LintContext, LintReport, run_lint
+from repro.schema import SCHEMA_VERSION, SchemaError, check_schema
+from repro.sim import SimReport, replay_schedule
+from repro.verify import CertifyReport, certify_schedule
+
+
+@pytest.fixture
+def solved(lu8, lu8_tensor, model44):
+    sched = schedule(lu8_tensor, model44, certify=True)
+    return lu8, lu8_tensor, model44, sched
+
+
+# --- check_schema itself ----------------------------------------------------
+
+
+def test_check_schema_accepts_current_version():
+    payload = {"kind": "cost_breakdown", "schema_version": SCHEMA_VERSION}
+    assert check_schema(payload, "cost_breakdown") == SCHEMA_VERSION
+
+
+def test_check_schema_rejects_non_mapping():
+    with pytest.raises(SchemaError, match="mapping"):
+        check_schema([1, 2], "cost_breakdown")
+
+
+def test_check_schema_rejects_wrong_kind():
+    payload = {"kind": "sim_report", "schema_version": SCHEMA_VERSION}
+    with pytest.raises(SchemaError, match="cost_breakdown"):
+        check_schema(payload, "cost_breakdown")
+
+
+def test_check_schema_rejects_missing_version():
+    with pytest.raises(SchemaError, match="schema_version"):
+        check_schema({"kind": "cost_breakdown"}, "cost_breakdown")
+
+
+@pytest.mark.parametrize("bad", [0, -1, "1", 1.5, True])
+def test_check_schema_rejects_malformed_version(bad):
+    payload = {"kind": "cost_breakdown", "schema_version": bad}
+    with pytest.raises(SchemaError):
+        check_schema(payload, "cost_breakdown")
+
+
+def test_check_schema_rejects_newer_version():
+    payload = {
+        "kind": "cost_breakdown",
+        "schema_version": SCHEMA_VERSION + 1,
+    }
+    with pytest.raises(SchemaError, match="only understands"):
+        check_schema(payload, "cost_breakdown")
+
+
+# --- per-report round-trips -------------------------------------------------
+
+
+def test_cost_breakdown_roundtrip(solved):
+    _, tensor, model, sched = solved
+    breakdown = evaluate_schedule(sched, tensor, model)
+    payload = breakdown.to_dict()
+    assert payload["schema_version"] == SCHEMA_VERSION
+    clone = CostBreakdown.from_dict(payload)
+    assert clone.total == breakdown.total
+    assert clone.reference_cost == breakdown.reference_cost
+    assert clone.movement_cost == breakdown.movement_cost
+
+
+def test_sim_report_roundtrip(solved):
+    lu8, tensor, model, sched = solved
+    report = replay_schedule(
+        lu8.trace, sched, model, track_links=True
+    )
+    payload = report.to_dict()
+    assert payload["schema_version"] == SCHEMA_VERSION
+    clone = SimReport.from_dict(payload)
+    assert clone.to_dict() == payload
+
+
+def test_lint_report_roundtrip(solved):
+    _, _, model, sched = solved
+    report = run_lint(LintContext(schedule=sched, model=model))
+    payload = report.to_dict()
+    assert payload["schema_version"] == SCHEMA_VERSION
+    clone = LintReport.from_dict(payload)
+    assert clone.to_dict() == payload
+
+
+def test_certify_report_roundtrip(solved):
+    lu8, tensor, model, sched = solved
+    report = certify_schedule(sched, lu8.trace, model, tensor=tensor)
+    payload = report.to_dict()
+    assert payload["schema_version"] == SCHEMA_VERSION
+    clone = CertifyReport.from_dict(payload)
+    assert clone.to_dict() == payload
+
+
+def test_recovery_report_roundtrip(solved):
+    lu8, tensor, model, sched = solved
+    report = replay_with_recovery(
+        lu8.trace, sched, model, FaultPlan(), tensor=tensor,
+        policy=RecoveryPolicy(checkpoint_interval=2),
+    )
+    payload = report.to_dict()
+    assert payload["schema_version"] == SCHEMA_VERSION
+    clone = RecoveryReport.from_dict(payload)
+    assert clone.to_dict() == payload
+
+
+@pytest.mark.parametrize(
+    ("loader", "kind"),
+    [
+        (CostBreakdown.from_dict, "cost_breakdown"),
+        (SimReport.from_dict, "sim_report"),
+        (LintReport.from_dict, "lint_report"),
+        (CertifyReport.from_dict, "certify-report"),
+        (RecoveryReport.from_dict, "recovery_report"),
+    ],
+)
+def test_loaders_reject_future_payloads(loader, kind):
+    with pytest.raises(SchemaError, match="only understands"):
+        loader({"kind": kind, "schema_version": SCHEMA_VERSION + 1})
+
+
+def test_loaders_recompute_derived_fields(solved):
+    """A tampered summary block cannot smuggle in wrong counts."""
+    _, _, model, sched = solved
+    report = run_lint(LintContext(schedule=sched, model=model))
+    payload = report.to_dict()
+    payload["summary"]["errors"] = 999
+    clone = LintReport.from_dict(payload)
+    assert clone.n_errors == report.n_errors
