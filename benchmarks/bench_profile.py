@@ -3,7 +3,9 @@
 Run as a script (CI's perf-smoke job does)::
 
     python benchmarks/bench_profile.py --out BENCH_smoke.json \
-        --size 8 --max-overhead-pct 5
+        --size 8 --max-overhead-pct 5 \
+        --batch-telemetry --max-telemetry-overhead-pct 75 \
+        --batch-trace-out batch_trace.json --batch-prom-out batch.prom
 
 Thin CLI over :func:`repro.analysis.regression.run_bench_suite`, which
 times SCDS/LOMCDS/GOMCDS scheduling and the hop-level replay on each
@@ -12,9 +14,15 @@ probes that ``replay_schedule`` executes per window.  The gate compares
 the probe *median* against the replay *median* — medians absorb the one
 slow repeat a noisy CI machine produces — and the script exits non-zero
 when the ratio exceeds ``--max-overhead-pct``, keeping the "dark by
-default" promise honest.  The tracked baseline at the repo root
-(``BENCH_schedulers.json``) is produced by this same script at the
-pinned config and diffed by ``repro bench-compare``.
+default" promise honest.  ``--batch-telemetry`` applies the same
+median-based discipline to the *enabled* path: a ``workers=2`` batch is
+timed dark and under full cross-process span harvesting, the overhead
+is gated by ``--max-telemetry-overhead-pct``, and the harvested session
+can be written out as a merged Chrome trace (``--batch-trace-out``) and
+a Prometheus exposition dump (``--batch-prom-out``) for CI artifacts.
+The tracked baseline at the repo root (``BENCH_schedulers.json``) is
+produced by this same script at the pinned config and diffed by
+``repro bench-compare``.
 """
 
 from __future__ import annotations
@@ -27,6 +35,45 @@ from pathlib import Path
 from repro.analysis.regression import run_bench_suite
 
 
+def _write_batch_artifacts(
+    trace_out: Path | None,
+    prom_out: Path | None,
+    mesh: tuple[int, int],
+    size: int,
+    benchmarks: tuple[int, ...],
+    seed: int,
+    workers: int = 2,
+) -> None:
+    """One harvested ``workers=2`` batch, exported for CI artifacts."""
+    from repro.core import CostModel
+    from repro.engine import ScheduleRequest, schedule_many
+    from repro.grid import Mesh2D
+    from repro.mem import CapacityPlan
+    from repro.obs import Instrumentation, render_chrome, to_prometheus
+    from repro.workloads import benchmark as make_benchmark
+
+    topology = Mesh2D(*mesh)
+    model = CostModel(topology)
+    requests = []
+    for bench in benchmarks:
+        workload = make_benchmark(bench, size, topology, seed=seed)
+        capacity = CapacityPlan.paper_rule(workload.n_data, topology.n_procs)
+        requests.append(
+            ScheduleRequest(
+                workload.reference_tensor(), model, capacity=capacity,
+                algorithm="gomcds", label=f"bench{bench}",
+            )
+        )
+    instr = Instrumentation.started()
+    schedule_many(requests, workers=workers, kernel="numpy", instrument=instr)
+    if trace_out is not None:
+        trace_out.write_text(render_chrome(instr) + "\n")
+        print(f"wrote merged chrome trace to {trace_out}")
+    if prom_out is not None:
+        prom_out.write_text(to_prometheus(instr) + "\n")
+        print(f"wrote prometheus dump to {prom_out}")
+
+
 def run(
     out: Path,
     mesh: tuple[int, int] = (4, 4),
@@ -36,10 +83,15 @@ def run(
     seed: int = 1998,
     max_overhead_pct: float | None = None,
     include_batch: bool = False,
+    batch_telemetry: bool = False,
+    max_telemetry_overhead_pct: float | None = None,
+    batch_trace_out: Path | None = None,
+    batch_prom_out: Path | None = None,
 ) -> int:
     report = run_bench_suite(
         mesh=mesh, size=size, benchmarks=benchmarks, repeats=repeats,
         seed=seed, include_batch=include_batch,
+        include_batch_telemetry=batch_telemetry,
     )
     out.write_text(json.dumps(report, indent=2) + "\n")
     print(f"wrote {out}")
@@ -50,6 +102,35 @@ def run(
             f"{batch['sequential_python_median_s']:.4f}s vs batched numpy "
             f"{batch['batch_numpy_median_s']:.4f}s "
             f"({batch['speedup']:.1f}x speedup)"
+        )
+    failed = False
+    if batch_telemetry:
+        tele = report["batch_telemetry"]
+        print(
+            f"batch telemetry overhead (workers={tele['workers']}, medians): "
+            f"{tele['overhead_pct']:.1f}% "
+            f"({tele['dark_median_s'] * 1e3:.1f} ms dark / "
+            f"{tele['traced_median_s'] * 1e3:.1f} ms harvested)"
+        )
+        if not tele["bit_identical"]:
+            print(
+                "FAIL: telemetry changed the schedules — the bit-identity "
+                "contract is broken",
+                file=sys.stderr,
+            )
+            failed = True
+        if (
+            max_telemetry_overhead_pct is not None
+            and tele["overhead_pct"] > max_telemetry_overhead_pct
+        ):
+            print(
+                f"FAIL: telemetry overhead {tele['overhead_pct']:.1f}% "
+                f"exceeds budget {max_telemetry_overhead_pct:g}%",
+                file=sys.stderr,
+            )
+            failed = True
+        _write_batch_artifacts(
+            batch_trace_out, batch_prom_out, mesh, size, benchmarks, seed
         )
     overhead = report["noop_overhead"]
     print(
@@ -64,8 +145,8 @@ def run(
             f"{max_overhead_pct:g}%",
             file=sys.stderr,
         )
-        return 1
-    return 0
+        failed = True
+    return 1 if failed else 0
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -91,6 +172,26 @@ def main(argv: list[str] | None = None) -> int:
         help="record the batched-vs-sequential GOMCDS engine speedup "
         "in a batch_gomcds block",
     )
+    parser.add_argument(
+        "--batch-telemetry", action="store_true",
+        help="measure worker-span harvesting overhead on a workers=2 "
+        "batch (batch_telemetry block) and verify bit-identity",
+    )
+    parser.add_argument(
+        "--max-telemetry-overhead-pct", type=float, default=None,
+        help="exit 1 if telemetry-on overhead exceeds this percentage "
+        "(median over median; needs --batch-telemetry)",
+    )
+    parser.add_argument(
+        "--batch-trace-out", type=Path, default=None, metavar="PATH",
+        help="write the harvested batch session as a merged Chrome trace "
+        "(needs --batch-telemetry)",
+    )
+    parser.add_argument(
+        "--batch-prom-out", type=Path, default=None, metavar="PATH",
+        help="write the harvested batch metrics in Prometheus exposition "
+        "format (needs --batch-telemetry)",
+    )
     args = parser.parse_args(argv)
     return run(
         out=args.out,
@@ -101,6 +202,10 @@ def main(argv: list[str] | None = None) -> int:
         seed=args.seed,
         max_overhead_pct=args.max_overhead_pct,
         include_batch=args.include_batch,
+        batch_telemetry=args.batch_telemetry,
+        max_telemetry_overhead_pct=args.max_telemetry_overhead_pct,
+        batch_trace_out=args.batch_trace_out,
+        batch_prom_out=args.batch_prom_out,
     )
 
 

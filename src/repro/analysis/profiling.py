@@ -6,8 +6,11 @@ phase spans (cost-tensor build, DP sweep, capacity walk), the GOMCDS
 schedule is replayed hop-by-hop so per-window hop/cost metrics land in
 the trace, and the analytic/replayed results ride along through the
 unified ``to_dict()``/``summary()`` result protocol.  The recorded
-session exports as a human summary, JSON-lines, or a Chrome trace-event
-file (``chrome://tracing`` / Perfetto) — see ``docs/observability.md``.
+session exports as a human summary, JSON-lines, a Chrome trace-event
+file (``chrome://tracing`` / Perfetto), or Prometheus exposition text —
+see ``docs/observability.md``.  Each profiled instance also drops a
+``profile.instance`` event on the flight recorder, so ``repro tail``
+can reconstruct what a profiling run touched.
 """
 
 from __future__ import annotations
@@ -17,7 +20,7 @@ from dataclasses import dataclass, field
 from ..core import CostModel, evaluate_schedule, scheduler_spec
 from ..grid import Mesh2D
 from ..mem import CapacityPlan
-from ..obs import Instrumentation, active
+from ..obs import Instrumentation, active, record_event
 from ..sim import replay_schedule
 from ..workloads import (
     BENCHMARK_NAMES,
@@ -58,6 +61,9 @@ def _profile_instance(
     model = CostModel(workload.topology)
     capacity = CapacityPlan.paper_rule(
         workload.n_data, workload.topology.n_procs, capacity_multiplier
+    )
+    record_event(
+        "profile.instance", workload=name, n_windows=tensor.n_windows
     )
     with instr.span(
         "profile.instance",

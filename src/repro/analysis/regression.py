@@ -135,6 +135,59 @@ def _batch_gomcds_block(
     }
 
 
+def _batch_telemetry_block(
+    instances: list[tuple],
+    model: CostModel,
+    repeats: int,
+    workers: int = 2,
+) -> dict:
+    """Median cost of full telemetry harvesting on a pooled batch.
+
+    Times the same ``workers=2`` GOMCDS suite twice — dark (no
+    instrument) and under a recording session with cross-process span
+    harvesting — and reports the median-over-median overhead.  The two
+    runs must also produce bit-identical schedules: telemetry is
+    observational by contract (``docs/observability.md``).
+    """
+    import numpy as np
+
+    requests = [
+        ScheduleRequest(
+            tensor, model, capacity=capacity, algorithm="gomcds",
+            label=f"bench{bench}",
+        )
+        for bench, tensor, capacity in instances
+    ]
+
+    def dark():
+        return schedule_many(requests, workers=workers, kernel="numpy")
+
+    def traced():
+        return schedule_many(
+            requests, workers=workers, kernel="numpy",
+            instrument=Instrumentation.started(),
+        )
+
+    baseline = dark()  # warm (includes one pool spawn)
+    harvested = traced()
+    identical = all(
+        np.array_equal(a.centers, b.centers)
+        for a, b in zip(baseline, harvested)
+    )
+    dark_s, dark_med = _time_repeats(dark, repeats)
+    traced_s, traced_med = _time_repeats(traced, repeats)
+    return {
+        "n_requests": len(requests),
+        "workers": workers,
+        "dark_s": dark_s,
+        "dark_median_s": dark_med,
+        "traced_s": traced_s,
+        "traced_median_s": traced_med,
+        "overhead_pct": 100.0 * (traced_med - dark_med) / dark_med,
+        "bit_identical": identical,
+    }
+
+
 def run_bench_suite(
     mesh: tuple[int, int] = (4, 4),
     size: int = 16,
@@ -142,6 +195,7 @@ def run_bench_suite(
     repeats: int = 3,
     seed: int = 1998,
     include_batch: bool = False,
+    include_batch_telemetry: bool = False,
 ) -> dict:
     """Time scheduling + replay on the paper benchmarks; return the report.
 
@@ -151,8 +205,11 @@ def run_bench_suite(
     no-op probe overhead) and a suite-level ``noop_overhead`` block whose
     ``overhead_pct`` is computed from *medians*.  ``include_batch=True``
     appends a ``batch_gomcds`` block comparing the batched numpy GOMCDS
-    suite against the sequential scalar-kernel baseline; the comparator
-    ignores unknown top-level keys, so older baselines stay valid.
+    suite against the sequential scalar-kernel baseline;
+    ``include_batch_telemetry=True`` appends a ``batch_telemetry`` block
+    measuring what worker-span harvesting costs a ``workers=2`` batch.
+    The comparator ignores unknown top-level keys, so older baselines
+    stay valid.
     """
     topology = Mesh2D(*mesh)
     model = CostModel(topology)
@@ -231,6 +288,10 @@ def run_bench_suite(
     }
     if include_batch:
         report["batch_gomcds"] = _batch_gomcds_block(
+            instances, model, repeats
+        )
+    if include_batch_telemetry:
+        report["batch_telemetry"] = _batch_telemetry_block(
             instances, model, repeats
         )
     return report

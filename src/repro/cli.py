@@ -14,7 +14,9 @@ Usage::
     python -m repro certify [--bench 1 --size 8 | --schedule s.npz \
         --trace t.npz] [--faults plan.json] [--format human|json|sarif]
     python -m repro profile [--workload suite|lu|fft|...] [--spatial] \
-        [--format summary|jsonl|chrome] [--output trace.json]
+        [--format summary|jsonl|chrome|prometheus] [--output trace.json]
+    python -m repro batch [--workers 4] [--telemetry batch.jsonl]
+    python -m repro tail telemetry.jsonl [-n 20] [--kind cache.]
     python -m repro heatmap [--bench 1 --size 16] [--scheduler GOMCDS]
     python -m repro bench-compare [--baseline BENCH_schedulers.json] \
         [--time-tolerance-pct 50] [--format human|json]
@@ -154,6 +156,7 @@ def main(argv: list[str] | None = None) -> int:
     add_parser("seeds", help="seed sensitivity of the improvements")
     add_parser("ablation-budget", help="movement-budget Pareto frontier (K)")
     _add_batch_parser(add_parser)
+    _add_tail_parser(add_parser)
     _add_faults_parser(add_parser)
     _add_chaos_parser(add_parser)
     _add_lint_parser(add_parser)
@@ -223,6 +226,12 @@ def _add_batch_parser(add_parser) -> None:
     )
     parser.add_argument("--seed", type=int, default=1998)
     parser.add_argument(
+        "--telemetry", metavar="PATH", default=None,
+        help="write the merged batch telemetry (spans from every worker, "
+        "whole-batch metrics, flight-recorder events) to PATH as "
+        "JSON-lines; render it with 'repro tail'",
+    )
+    parser.add_argument(
         "--format", choices=("human", "json"), default="human",
         dest="fmt", help="report format",
     )
@@ -236,6 +245,7 @@ def _run_batch(args) -> int:
     from .engine import ScheduleRequest, SolveCache, schedule_many
     from .grid import Mesh2D
     from .mem import CapacityPlan
+    from .obs import Instrumentation, active, flight_recorder, to_jsonl
     from .workloads import BENCHMARK_NAMES, benchmark as make_benchmark
 
     topology = Mesh2D(*args.mesh)
@@ -259,9 +269,13 @@ def _run_batch(args) -> int:
                 )
                 meta.append((bench, size, name.upper(), tensor))
     cache = SolveCache(disk_dir=args.cache_dir)
+    # the batch CLI always records: the merged registry is the source of
+    # the cache summary, and --telemetry exports the whole session
+    instr = active() if active().enabled else Instrumentation.started()
     t0 = perf_counter()
     schedules = schedule_many(
-        requests, workers=args.workers, cache=cache, kernel=args.kernel
+        requests, workers=args.workers, cache=cache, kernel=args.kernel,
+        instrument=instr,
     )
     elapsed = perf_counter() - t0
     rows = [
@@ -275,6 +289,22 @@ def _run_batch(args) -> int:
         for (bench, size, name, tensor), sched in zip(meta, schedules)
     ]
     stats = cache.stats()
+    counters = {
+        name: counter.value
+        for name, counter in instr.metrics.counters.items()
+    }
+    hits = counters.get("engine.cache.hits", 0.0)
+    misses = counters.get("engine.cache.misses", 0.0)
+    looked_up = hits + misses
+    hit_rate = 100.0 * hits / looked_up if looked_up else 0.0
+    dedup_saves = counters.get("engine.batch.dedup_hits", 0.0)
+    if args.telemetry:
+        from pathlib import Path
+
+        session = to_jsonl(instr)
+        events = flight_recorder().to_jsonl()
+        payload = "\n".join(part for part in (session, events) if part)
+        Path(args.telemetry).write_text(payload + "\n")
     if args.fmt == "json":
         print(
             json.dumps(
@@ -286,6 +316,7 @@ def _run_batch(args) -> int:
                     "elapsed_s": elapsed,
                     "rows": rows,
                     "cache": stats,
+                    "metrics": counters,
                 },
                 indent=2,
                 sort_keys=True,
@@ -295,9 +326,103 @@ def _run_batch(args) -> int:
         print(_render_rows(rows))
         print(
             f"{len(requests)} request(s) in {elapsed:.3f}s "
-            f"(workers={args.workers}, kernel={args.kernel or 'numpy'}); "
-            f"cache: {stats['hits']} hit(s), {stats['misses']} miss(es), "
+            f"(workers={args.workers}, kernel={args.kernel or 'numpy'})"
+        )
+        print(
+            f"cache: {hits:g} hit(s), {misses:g} miss(es), "
+            f"{hit_rate:.1f}% hit rate, {dedup_saves:g} dedup save(s), "
             f"{stats['entries']} entries"
+        )
+    if args.telemetry:
+        print(f"wrote telemetry to {args.telemetry}")
+    return EXIT_OK
+
+
+def _add_tail_parser(add_parser) -> None:
+    parser = add_parser(
+        "tail",
+        help="render the last N events of a JSON-lines telemetry file "
+        "(batch --telemetry, --metrics, or a flight-recorder dump); "
+        "docs/observability.md",
+    )
+    parser.add_argument(
+        "path", metavar="PATH", help="JSON-lines telemetry file to read"
+    )
+    parser.add_argument(
+        "-n", "--events", type=int, default=20, dest="n",
+        help="number of trailing events to show",
+    )
+    parser.add_argument(
+        "--kind", default=None, metavar="PREFIX",
+        help="only events whose kind starts with this prefix "
+        "(e.g. cache. / solve. / recovery.)",
+    )
+    parser.add_argument(
+        "--all", action="store_true", dest="all_records",
+        help="tail every record type (spans, metrics, results), not "
+        "just flight-recorder events",
+    )
+    parser.add_argument(
+        "--format", choices=("human", "jsonl"), default="human",
+        dest="fmt", help="output format",
+    )
+
+
+def _render_event_line(record: dict) -> str:
+    from datetime import datetime, timezone
+
+    ts = record.get("t_unix_us")
+    if ts is not None:
+        stamp = datetime.fromtimestamp(
+            ts / 1e6, tz=timezone.utc
+        ).strftime("%H:%M:%S.%f")[:-3]
+    else:
+        stamp = "--:--:--.---"
+    kind = record.get("kind") or record.get("name") or record.get("type", "?")
+    hidden = {"t_unix_us", "kind", "type", "seq", "name"}
+    fields = " ".join(
+        f"{key}={_fmt(value)}"
+        for key, value in record.items()
+        if key not in hidden and value is not None
+    )
+    seq = record.get("seq")
+    prefix = f"[{seq:>4}]" if seq is not None else "[   -]"
+    return f"{prefix} {stamp} {kind}" + (f"  {fields}" if fields else "")
+
+
+def _run_tail(args) -> int:
+    import json
+    from pathlib import Path
+
+    try:
+        lines = Path(args.path).read_text().splitlines()
+    except OSError as exc:
+        raise ValueError(f"cannot read telemetry file {args.path}: {exc}") from exc
+    records = []
+    for lineno, line in enumerate(lines, 1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            records.append(json.loads(line))
+        except json.JSONDecodeError as exc:
+            raise ValueError(
+                f"{args.path}:{lineno}: not JSON-lines telemetry ({exc})"
+            ) from exc
+    events = [r for r in records if r.get("type") == "event"]
+    pool = records if args.all_records or not events else events
+    if args.kind is not None:
+        pool = [r for r in pool if str(r.get("kind", "")).startswith(args.kind)]
+    tail = pool[-args.n:] if args.n > 0 else []
+    if args.fmt == "jsonl":
+        for record in tail:
+            print(json.dumps(record, sort_keys=True))
+    else:
+        for record in tail:
+            print(_render_event_line(record))
+        print(
+            f"({len(tail)} of {len(pool)} matching record(s), "
+            f"{len(records)} total in {args.path})"
         )
     return EXIT_OK
 
@@ -724,9 +849,11 @@ def _add_profile_parser(add_parser) -> None:
         "replays (heatmaps + congestion analytics in the export)",
     )
     parser.add_argument(
-        "--format", choices=("summary", "jsonl", "chrome"), default="summary",
+        "--format",
+        choices=("summary", "jsonl", "chrome", "prometheus"),
+        default="summary",
         dest="fmt", help="export format (chrome = trace-event JSON for "
-        "chrome://tracing / Perfetto)",
+        "chrome://tracing / Perfetto; prometheus = exposition text)",
     )
     parser.add_argument(
         "--output", metavar="PATH", default=None,
@@ -1151,6 +1278,8 @@ def _run_faults(args) -> int:
 def _dispatch(args) -> int:
     if args.command == "batch":
         return _run_batch(args)
+    if args.command == "tail":
+        return _run_tail(args)
     if args.command == "faults":
         return _run_faults(args)
     if args.command == "chaos":

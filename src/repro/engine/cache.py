@@ -39,7 +39,7 @@ from pathlib import Path
 import numpy as np
 
 from ..core import Schedule
-from ..obs import Instrumentation, resolve
+from ..obs import Instrumentation, record_event, resolve
 
 __all__ = ["SolveCache", "solve_key", "deep_freeze", "CACHE_KEY_VERSION"]
 
@@ -198,6 +198,7 @@ class SolveCache:
             self._entries.move_to_end(key)
             self.hits += 1
             obs.count("engine.cache.hits")
+            record_event("cache.hit", key=key[:12])
             return entry
         if self.disk_dir is not None:
             path = self._disk_path(key)
@@ -208,14 +209,16 @@ class SolveCache:
                 schedule = None
             if isinstance(schedule, Schedule):
                 frozen = deep_freeze(schedule)
-                self._remember(key, frozen)
+                self._remember(key, frozen, instrument=obs)
                 self.hits += 1
                 self.disk_hits += 1
                 obs.count("engine.cache.hits")
                 obs.count("engine.cache.disk_hits")
+                record_event("cache.hit", key=key[:12], disk=True)
                 return frozen
         self.misses += 1
         obs.count("engine.cache.misses")
+        record_event("cache.miss", key=key[:12])
         return None
 
     def put(
@@ -245,6 +248,7 @@ class SolveCache:
                 except OSError:
                     pass
         obs.count("engine.cache.puts")
+        record_event("cache.put", key=key[:12])
         return frozen
 
     def _remember(
@@ -253,13 +257,15 @@ class SolveCache:
         schedule: Schedule,
         instrument: Instrumentation | None = None,
     ) -> None:
+        obs = resolve(instrument)
         self._entries[key] = schedule
         self._entries.move_to_end(key)
         while len(self._entries) > self.maxsize:
-            self._entries.popitem(last=False)
+            evicted, _ = self._entries.popitem(last=False)
             self.evictions += 1
-            if instrument is not None:
-                instrument.count("engine.cache.evictions")
+            obs.count("engine.cache.evictions")
+            record_event("cache.evict", key=evicted[:12])
+        obs.gauge("engine.cache.entries", len(self._entries))
 
     def stats(self) -> dict:
         """Counter snapshot (also exported via ``engine.cache.*``)."""

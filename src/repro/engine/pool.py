@@ -15,21 +15,40 @@ optimizations stacked underneath:
 
 Result ordering is deterministic and *independent of worker count*:
 outputs are keyed by content address and re-assembled in request order,
-so ``workers=8`` returns exactly what ``workers=1`` returns.  Worker
-processes solve with a no-op instrumentation handle (handles do not
-cross process boundaries); the parent records one ``engine.request``
-span per unique solve plus batch-level counters.
+so ``workers=8`` returns exactly what ``workers=1`` returns.
+
+Telemetry is harvested across the process boundary: when the parent
+runs under a recording :class:`~repro.obs.Instrumentation`, each pool
+worker solves with its *own* recording session, flattens it into a
+picklable :class:`~repro.obs.TelemetrySnapshot` (spans, counters,
+histograms, flight-recorder events) returned alongside the result, and
+the parent merges every snapshot back with per-worker ``worker``/
+``worker_pid`` attribution — one unified timeline, whole-batch
+``engine.cache.*`` counters.  Telemetry never changes schedules: the
+worker session is observational and the cache key excludes
+``instrument`` by construction.  The inline ``workers=1`` path records
+the same ``engine.*`` counter set, so summaries are comparable across
+worker counts.
 """
 
 from __future__ import annotations
 
+import warnings
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from time import perf_counter
 from typing import Mapping, Sequence
 
 from ..core import Schedule, scheduler_spec
-from ..obs import Instrumentation, resolve
+from ..obs import (
+    Instrumentation,
+    flight_recorder,
+    merge_snapshot,
+    record_event,
+    resolve,
+    snapshot,
+)
+from ..obs.recorder import dump_on_error
 from .cache import SolveCache, solve_key
 
 __all__ = ["ScheduleRequest", "schedule_many"]
@@ -77,8 +96,27 @@ def _effective_options(request: ScheduleRequest, kernel: str | None) -> dict:
     return options
 
 
-def _solve_one(request: ScheduleRequest, kernel: str | None):
-    """Solve a single request; runs in worker processes (no-op obs)."""
+def _worker_init() -> None:
+    """Pool-worker initializer: keep worker stderr quiet.
+
+    Workers import and solve through the facade; the deprecation
+    warnings aimed at *users* of the legacy direct-call surface must
+    not leak from worker processes to the parent's stderr once per
+    task, so they are filtered out for the worker's lifetime.
+    """
+    warnings.filterwarnings(
+        "ignore",
+        message=r"calling \w+\(\) directly is deprecated",
+        category=DeprecationWarning,
+    )
+
+
+def _solve_one(
+    request: ScheduleRequest,
+    kernel: str | None,
+    instrument: Instrumentation | None = None,
+):
+    """Solve a single request under ``instrument`` (None = no-op)."""
     from ..api import schedule
 
     start = perf_counter()
@@ -87,9 +125,44 @@ def _solve_one(request: ScheduleRequest, kernel: str | None):
         request.model,
         algorithm=request.algorithm,
         capacity=request.capacity,
+        instrument=instrument,
         **_effective_options(request, kernel),
     )
     return solved, perf_counter() - start
+
+
+def _solve_in_worker(request: ScheduleRequest, kernel: str | None, collect: bool):
+    """Pool-worker entry: solve, optionally harvesting telemetry.
+
+    With ``collect`` the solve runs under a fresh recording session —
+    solver phase spans, counters and the worker's flight-recorder
+    events for *this task* are flattened into a snapshot and shipped
+    home with the result.  Handles never cross the boundary; snapshots
+    do.
+    """
+    if not collect:
+        solved, elapsed = _solve_one(request, kernel)
+        return solved, elapsed, None
+    instr = Instrumentation.started()
+    ring = flight_recorder()
+    watermark = ring.next_seq
+    record_event(
+        "solve.start", algorithm=request.algorithm, label=request.label
+    )
+    with instr.span(
+        "engine.request", algorithm=request.algorithm, label=request.label
+    ):
+        solved, elapsed = _solve_one(request, kernel, instrument=instr)
+    record_event(
+        "solve.end",
+        algorithm=request.algorithm,
+        label=request.label,
+        elapsed_us=elapsed * 1e6,
+    )
+    snap = snapshot(
+        instr, label=request.label, events=ring.events_since(watermark)
+    )
+    return solved, elapsed, snap
 
 
 def schedule_many(
@@ -117,7 +190,9 @@ def schedule_many(
         Batch-wide default solver kernel, overridable per request via
         ``options["kernel"]``.
     instrument:
-        Parent-side instrumentation; counters land under ``engine.*``.
+        Parent-side instrumentation; counters land under ``engine.*``
+        and, when recording, worker telemetry is harvested and merged
+        with per-worker attribution (``docs/observability.md``).
 
     Returns
     -------
@@ -142,6 +217,9 @@ def schedule_many(
         workers=workers,
         cached=cache is not None,
     ):
+        record_event(
+            "batch.start", n_requests=len(requests), workers=workers
+        )
         keys = [request.solve_key() for request in requests]
         solved: dict[str, Schedule] = {}
         pending: list[tuple[str, ScheduleRequest]] = []
@@ -155,28 +233,25 @@ def schedule_many(
             else:
                 pending.append((key, request))
                 pending_keys.add(key)
+        # the same counter set is recorded on the inline and pooled
+        # paths, so summaries are comparable across worker counts
         obs.count("engine.batch.requests", len(requests))
         obs.count(
             "engine.batch.dedup_hits",
             len(requests) - len(solved) - len(pending),
         )
+        obs.count("engine.pool.requests", len(pending))
+        obs.count("engine.pool.dedup_hits", len(requests) - len(pending))
+        obs.gauge("engine.pool.workers", 1 if len(pending) <= 1 else workers)
+        obs.gauge("engine.pool.queue_depth", len(pending))
 
-        if workers == 1 or len(pending) <= 1:
-            outcomes = []
-            for key, request in pending:
-                with obs.span(
-                    "engine.request",
-                    algorithm=request.algorithm,
-                    label=request.label,
-                ):
-                    outcomes.append(_solve_one(request, kernel))
-        else:
-            with ProcessPoolExecutor(max_workers=workers) as pool:
-                futures = [
-                    pool.submit(_solve_one, request, kernel)
-                    for _, request in pending
-                ]
-                outcomes = [future.result() for future in futures]
+        try:
+            outcomes = _run_pending(pending, workers, kernel, obs)
+        except Exception:
+            dump_on_error(
+                f"schedule_many({len(requests)} requests, workers={workers})"
+            )
+            raise
 
         for (key, request), (schedule_result, elapsed) in zip(
             pending, outcomes
@@ -188,4 +263,56 @@ def schedule_many(
                 )
             solved[key] = schedule_result
         obs.count("engine.batch.solved", len(pending))
+        record_event(
+            "batch.end", n_requests=len(requests), solved=len(pending)
+        )
     return [solved[key] for key in keys]
+
+
+def _run_pending(pending, workers, kernel, obs):
+    """Execute the unique solves; returns ``(schedule, elapsed)`` pairs.
+
+    Inline (``workers=1`` or a single pending solve) records straight
+    into the parent session — same spans, same counters as a worker
+    would produce.  The pooled path harvests one
+    :class:`~repro.obs.TelemetrySnapshot` per solve and merges it with
+    a stable per-worker lane id (first-seen order of worker pids).
+    """
+    if workers == 1 or len(pending) <= 1:
+        outcomes = []
+        for key, request in pending:
+            record_event(
+                "solve.start", algorithm=request.algorithm, label=request.label
+            )
+            with obs.span(
+                "engine.request",
+                algorithm=request.algorithm,
+                label=request.label,
+            ):
+                solved, elapsed = _solve_one(request, kernel, instrument=obs)
+            record_event(
+                "solve.end",
+                algorithm=request.algorithm,
+                label=request.label,
+                elapsed_us=elapsed * 1e6,
+            )
+            outcomes.append((solved, elapsed))
+        return outcomes
+
+    collect = obs.enabled
+    with ProcessPoolExecutor(
+        max_workers=workers, initializer=_worker_init
+    ) as pool:
+        futures = [
+            pool.submit(_solve_in_worker, request, kernel, collect)
+            for _, request in pending
+        ]
+        results = [future.result() for future in futures]
+    lanes: dict[int, int] = {}  # worker pid -> stable worker id
+    outcomes = []
+    for solved, elapsed, snap in results:
+        if snap is not None:
+            worker_id = lanes.setdefault(snap.pid, len(lanes) + 1)
+            merge_snapshot(obs, snap, worker_id=worker_id)
+        outcomes.append((solved, elapsed))
+    return outcomes

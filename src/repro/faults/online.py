@@ -58,7 +58,7 @@ from ..diagnostics import (
     code_message,
 )
 from ..mem import CapacityError
-from ..obs import Instrumentation, resolve
+from ..obs import Instrumentation, record_event, resolve
 from ..schema import SCHEMA_VERSION, check_schema
 from .injector import RetryPolicy
 from .plan import FaultConfigError, FaultPlan, LinkFault, NodeFault
@@ -741,6 +741,14 @@ class RecoveryController:
                 wasted_cost=float(wasted),
                 retry_deadline=escalated,
             )
+        )
+        record_event(
+            "recovery.rollback",
+            window=window,
+            rollback_to=ckpt.window,
+            rollback_depth=depth,
+            faults=len(newly),
+            rescheduled=rescheduled,
         )
 
 

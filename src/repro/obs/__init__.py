@@ -34,12 +34,19 @@ from .spatial import (
     gini_coefficient,
 )
 from .tracer import NULL_SPAN, NullTracer, Span, Tracer
+from .recorder import (
+    FlightRecorder,
+    flight_recorder,
+    record_event,
+)
+from .remote import TelemetrySnapshot, merge_snapshot, snapshot
 from .export import (
     EXPORT_FORMATS,
     chrome_trace,
     render_chrome,
     render_summary,
     to_jsonl,
+    to_prometheus,
     write_export,
 )
 
@@ -70,6 +77,14 @@ __all__ = [
     "to_jsonl",
     "chrome_trace",
     "render_chrome",
+    "to_prometheus",
     "write_export",
     "EXPORT_FORMATS",
+    # cross-process telemetry (docs/observability.md)
+    "TelemetrySnapshot",
+    "snapshot",
+    "merge_snapshot",
+    "FlightRecorder",
+    "flight_recorder",
+    "record_event",
 ]

@@ -1,6 +1,6 @@
-"""Exporters: human summary, JSON-lines, and Chrome trace-event JSON.
+"""Exporters: human summary, JSON-lines, Chrome trace, Prometheus text.
 
-Three consumers, three formats:
+Four consumers, four formats:
 
 * :func:`render_summary` — indented span tree with durations plus a
   metrics table, for terminal reading;
@@ -10,6 +10,13 @@ Three consumers, three formats:
 * :func:`chrome_trace` — the Chrome trace-event format (`ph: "X"`
   complete events for spans, ``ph: "C"`` counter series for timestamped
   histogram samples) loadable in ``chrome://tracing`` and Perfetto.
+  Spans merged from pool workers (``repro.obs.remote``) carry
+  ``worker``/``worker_pid`` attribution and are laid out one ``tid``
+  lane per worker, named via ``thread_name`` metadata events;
+* :func:`to_prometheus` — the Prometheus exposition text format:
+  counters as ``*_total``, gauges verbatim, histograms as summaries
+  with exact ``quantile`` series (we keep raw samples) or, given bucket
+  boundaries, as cumulative ``le`` histogram series.
 
 Exporters also accept *result* objects — anything implementing the
 unified ``to_dict()`` / ``summary()`` protocol shared by
@@ -26,6 +33,7 @@ and per-link ``ph:"C"`` counter tracks in the Chrome trace.
 from __future__ import annotations
 
 import json
+import re
 from dataclasses import dataclass
 from pathlib import Path
 
@@ -38,11 +46,12 @@ __all__ = [
     "to_jsonl",
     "chrome_trace",
     "render_chrome",
+    "to_prometheus",
     "write_export",
     "EXPORT_FORMATS",
 ]
 
-EXPORT_FORMATS = ("summary", "jsonl", "chrome")
+EXPORT_FORMATS = ("summary", "jsonl", "chrome", "prometheus")
 
 #: Chrome counter tracks are emitted for at most this many links per
 #: spatial trace (heaviest first); the cap is recorded in ``otherData``.
@@ -191,6 +200,11 @@ def chrome_trace(instrument: Instrumentation, results=()) -> dict:
     series (``ph: "C"``), which Perfetto renders as per-window charts —
     this is where the replay's per-window hop metrics surface.  Result
     objects ride along as instant events at the end of the trace.
+
+    Spans harvested from pool workers (attrs ``worker``/``worker_pid``,
+    attached by :func:`repro.obs.remote.merge_snapshot`) are rendered on
+    their own ``tid`` lane — one per worker, named by ``thread_name``
+    metadata — so a multi-process batch reads as a single timeline.
     """
     events = [
         {
@@ -201,11 +215,30 @@ def chrome_trace(instrument: Instrumentation, results=()) -> dict:
             "ts": 0,
             "cat": "__metadata",
             "args": {"name": "repro profile"},
-        }
+        },
+        {
+            "name": "thread_name",
+            "ph": "M",
+            "pid": 0,
+            "tid": 0,
+            "ts": 0,
+            "cat": "__metadata",
+            "args": {"name": "main"},
+        },
     ]
+    lanes: dict = {}  # (worker, worker_pid) -> tid (> 0)
     last_ts = 0.0
     for span in instrument.tracer.spans:
         last_ts = max(last_ts, span.start_us + span.duration_us)
+        wid = span.attrs.get("worker")
+        wpid = span.attrs.get("worker_pid")
+        if wid is None and wpid is None:
+            tid = 0
+        else:
+            key = (wid, wpid)
+            tid = lanes.get(key)
+            if tid is None:
+                tid = lanes[key] = len(lanes) + 1
         events.append(
             {
                 "name": span.name,
@@ -214,8 +247,23 @@ def chrome_trace(instrument: Instrumentation, results=()) -> dict:
                 "ts": span.start_us,
                 "dur": span.duration_us,
                 "pid": 0,
-                "tid": 0,
+                "tid": tid,
                 "args": _jsonable(span.attrs),
+            }
+        )
+    for (wid, wpid), tid in lanes.items():
+        label = f"worker {wid}" if wid is not None else "worker"
+        if wpid is not None:
+            label += f" (pid {wpid})"
+        events.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": 0,
+                "tid": tid,
+                "ts": 0,
+                "cat": "__metadata",
+                "args": {"name": label},
             }
         )
     for hist in instrument.metrics.histograms.values():
@@ -286,6 +334,107 @@ def render_chrome(instrument: Instrumentation, results=()) -> str:
     return json.dumps(chrome_trace(instrument, results))
 
 
+_PROM_INVALID = re.compile(r"[^a-zA-Z0-9_:]")
+
+#: Summary quantiles emitted for histograms without bucket boundaries.
+PROMETHEUS_QUANTILES = (0.5, 0.9, 0.95, 0.99)
+
+
+def _prom_name(name: str, prefix: str) -> str:
+    """A legal exposition-format metric name for a dotted repro metric."""
+    base = _PROM_INVALID.sub("_", name)
+    full = f"{prefix}_{base}" if prefix else base
+    if full[0].isdigit():
+        full = f"_{full}"
+    return full
+
+
+def _prom_value(value: float) -> str:
+    as_float = float(value)
+    if as_float != as_float:  # NaN
+        return "NaN"
+    if as_float in (float("inf"), float("-inf")):
+        return "+Inf" if as_float > 0 else "-Inf"
+    if as_float == int(as_float) and abs(as_float) < 1e15:
+        return str(int(as_float))
+    return repr(as_float)
+
+
+def _prom_help(name: str, prom: str, kind: str) -> list[str]:
+    # HELP text escapes: backslash and line feed
+    text = f"repro metric {name}".replace("\\", r"\\").replace("\n", r"\n")
+    return [f"# HELP {prom} {text}", f"# TYPE {prom} {kind}"]
+
+
+def _histogram_buckets(hist, boundaries) -> list[str]:
+    """Cumulative ``le`` bucket series from the exact sample list."""
+    bounds = sorted(float(b) for b in boundaries)
+    lines = []
+    for bound in bounds:
+        count = sum(1 for s in hist.samples if s <= bound)
+        lines.append((_prom_value(bound), count))
+    lines.append(("+Inf", hist.count))
+    return lines
+
+
+def to_prometheus(
+    instrument: Instrumentation,
+    results=(),
+    *,
+    prefix: str = "repro",
+    buckets=None,
+    quantiles=PROMETHEUS_QUANTILES,
+) -> str:
+    """The session's metrics in the Prometheus exposition text format.
+
+    Counters become ``<prefix>_<name>_total`` (``TYPE counter``), gauges
+    map verbatim (``TYPE gauge``).  Histograms keep their raw samples,
+    so by default they export as ``TYPE summary`` with *exact* quantile
+    series (nearest-rank, not estimates) plus ``_sum``/``_count``.  Pass
+    ``buckets`` — a sequence of upper bounds applied to every histogram,
+    or a ``{metric name: sequence}`` mapping — to export cumulative
+    ``le`` bucket series (``TYPE histogram``) instead.
+
+    ``results`` is accepted (and ignored) so the function slots into
+    :func:`write_export`'s renderer table; scrape output carries
+    metrics only.
+    """
+    del results  # metrics-only format
+    lines: list[str] = []
+    metrics = instrument.metrics
+    for name, counter in metrics.counters.items():
+        prom = _prom_name(name, prefix) + "_total"
+        lines += _prom_help(name, prom, "counter")
+        lines.append(f"{prom} {_prom_value(counter.value)}")
+    for name, gauge in metrics.gauges.items():
+        prom = _prom_name(name, prefix)
+        lines += _prom_help(name, prom, "gauge")
+        lines.append(f"{prom} {_prom_value(gauge.value)}")
+    for name, hist in metrics.histograms.items():
+        prom = _prom_name(name, prefix)
+        bounds = (
+            buckets.get(name) if isinstance(buckets, dict) else buckets
+        )
+        if bounds:
+            lines += _prom_help(name, prom, "histogram")
+            for le, count in _histogram_buckets(hist, bounds):
+                lines.append(f'{prom}_bucket{{le="{le}"}} {count}')
+        else:
+            lines += _prom_help(name, prom, "summary")
+            for q in quantiles:
+                value = hist.percentile(100.0 * q)
+                lines.append(
+                    f'{prom}{{quantile="{_prom_value(q)}"}} '
+                    f"{_prom_value(value)}"
+                )
+        lines.append(f"{prom}_sum {_prom_value(hist.total)}")
+        lines.append(f"{prom}_count {hist.count}")
+    # no trailing newline: write_export/print append it, matching the
+    # other renderers (the exposition format wants the file to end in
+    # exactly one line feed)
+    return "\n".join(lines)
+
+
 def write_export(
     instrument: Instrumentation,
     fmt: str,
@@ -297,6 +446,7 @@ def write_export(
         "summary": render_summary,
         "jsonl": to_jsonl,
         "chrome": render_chrome,
+        "prometheus": to_prometheus,
     }
     try:
         text = renderer[fmt](instrument, results)

@@ -1,0 +1,170 @@
+"""Cross-process telemetry: snapshot a worker's session, merge it here.
+
+Instrumentation handles do not cross process boundaries — a
+:class:`~repro.obs.tracer.Tracer` holds live object graphs and a
+monotonic clock that only means something in its own process.  What
+*does* cross is a :class:`TelemetrySnapshot`: the flat, picklable
+residue of one worker-side session (span tuples, counter/gauge values,
+histogram samples, flight-recorder events) plus a wall-clock anchor
+that lets the parent place the worker's spans on its own timeline.
+
+The batch engine (:mod:`repro.engine.pool`) has each pool worker solve
+under a real recording session, snapshot it with :func:`snapshot`, and
+ship it home alongside the solve result; the parent folds every
+snapshot into its own session with :func:`merge_snapshot`.  Merged
+spans carry ``worker``/``worker_pid`` attribution, which the Chrome
+exporter turns into one lane (``tid``) per worker — a single unified
+timeline for a multi-process batch.
+
+Clock mapping uses ``time.time()`` anchors on both sides: each snapshot
+records the unix microsecond at its tracer's t0, and the parent shifts
+worker span offsets by the anchor difference.  Wall clocks on one host
+agree to well under a millisecond — plenty for batch-level spans that
+run tens of milliseconds.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass, field
+
+from .instrument import Instrumentation
+from .recorder import flight_recorder
+from .tracer import Span
+
+__all__ = ["TelemetrySnapshot", "snapshot", "merge_snapshot"]
+
+
+def _anchor_unix_us(instrument: Instrumentation) -> float:
+    """Unix microsecond timestamp of the session tracer's t0."""
+    return time.time() * 1e6 - instrument.tracer.now_us()
+
+
+@dataclass(frozen=True)
+class TelemetrySnapshot:
+    """One worker session, flattened for the trip home.
+
+    Every field is built from plain tuples/dicts of JSON-able scalars,
+    so the snapshot pickles compactly and survives any executor.
+    """
+
+    pid: int
+    anchor_unix_us: float  #: unix µs at the worker tracer's t0
+    spans: tuple = ()  #: (name, start_us, duration_us, depth, attrs)
+    counters: tuple = ()  #: (name, value)
+    gauges: tuple = ()  #: (name, value)
+    histograms: tuple = ()  #: (name, samples, timestamps)
+    events: tuple = ()  #: flight-recorder event dicts
+    label: str | None = None
+
+    @property
+    def n_spans(self) -> int:
+        return len(self.spans)
+
+    def to_dict(self) -> dict:
+        return {
+            "pid": self.pid,
+            "label": self.label,
+            "n_spans": len(self.spans),
+            "n_counters": len(self.counters),
+            "n_events": len(self.events),
+        }
+
+
+def snapshot(
+    instrument: Instrumentation,
+    *,
+    label: str | None = None,
+    events=None,
+) -> TelemetrySnapshot:
+    """Flatten ``instrument`` into a picklable :class:`TelemetrySnapshot`.
+
+    ``events`` defaults to the worker's process-global flight-recorder
+    ring, so solve/cache events recorded while the session ran travel
+    with it; pass an explicit iterable (or ``()``) to override.
+    """
+    spans = tuple(
+        (
+            span.name,
+            float(span.start_us),
+            float(span.duration_us),
+            int(span.depth),
+            dict(span.attrs),
+        )
+        for span in instrument.tracer.spans
+    )
+    counters = tuple(
+        (name, counter.value)
+        for name, counter in instrument.metrics.counters.items()
+    )
+    gauges = tuple(
+        (name, gauge.value)
+        for name, gauge in instrument.metrics.gauges.items()
+    )
+    histograms = tuple(
+        (name, tuple(hist.samples), tuple(hist.timestamps))
+        for name, hist in instrument.metrics.histograms.items()
+    )
+    if events is None:
+        events = flight_recorder().events()
+    return TelemetrySnapshot(
+        pid=os.getpid(),
+        anchor_unix_us=_anchor_unix_us(instrument),
+        spans=spans,
+        counters=counters,
+        gauges=gauges,
+        histograms=histograms,
+        events=tuple(dict(e) for e in events),
+        label=label,
+    )
+
+
+def merge_snapshot(
+    instrument: Instrumentation,
+    snap: TelemetrySnapshot,
+    *,
+    worker_id: int | None = None,
+    recorder=None,
+) -> int:
+    """Fold one worker snapshot into the parent session.
+
+    Spans are re-created on the parent tracer with their worker-local
+    nesting depth preserved and ``worker``/``worker_pid`` attribution
+    attached; counters accumulate, gauges take the worker's last write,
+    histogram samples keep their timestamps (shifted onto the parent
+    clock), and the worker's flight-recorder events are adopted by the
+    parent ring (``recorder``; the process-global one by default).
+
+    Returns the number of spans merged.  Merging into a disabled
+    (``NOOP``) session is a no-op — telemetry harvested by accident is
+    dropped, never crashes.
+    """
+    if not instrument.enabled:
+        return 0
+    # place the worker's t0 on the parent tracer's clock; negative
+    # offsets (worker started before the parent session) clamp to 0
+    offset_us = max(0.0, snap.anchor_unix_us - _anchor_unix_us(instrument))
+    attribution = {"worker_pid": snap.pid}
+    if worker_id is not None:
+        attribution["worker"] = worker_id
+    tracer = instrument.tracer
+    for name, start_us, duration_us, depth, attrs in snap.spans:
+        merged = dict(attrs)
+        merged.update(attribution)
+        span = Span(tracer, name, merged, depth=depth)
+        span.start_us = start_us + offset_us
+        span.duration_us = duration_us
+        tracer.spans.append(span)
+    instrument.metrics.merge(
+        counters=snap.counters,
+        gauges=snap.gauges,
+        histograms=snap.histograms,
+        ts_offset_us=offset_us,
+    )
+    ring = flight_recorder() if recorder is None else recorder
+    for event in snap.events:
+        adopted = dict(event)
+        adopted.update(attribution)
+        ring.append(adopted)
+    return len(snap.spans)

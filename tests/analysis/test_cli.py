@@ -264,3 +264,109 @@ def test_bench_compare_missing_baseline_is_config_error(capsys):
     code = main(["bench-compare", "--baseline", "does/not/exist.json"])
     capsys.readouterr()
     assert code == EXIT_CONFIG_ERROR
+
+
+def test_batch_human_output_prints_cache_summary(capsys):
+    out = run(
+        capsys,
+        "batch", "--benchmarks", "1", "--sizes", "8",
+        "--schedulers", "GOMCDS", "GOMCDS",
+    )
+    assert "hit rate" in out
+    # the duplicate scheduler dedups: 2 requests, 1 solved
+    assert "1 dedup save(s)" in out
+    assert "2 request(s)" in out
+
+
+def test_batch_telemetry_flag_writes_merged_session(tmp_path, capsys):
+    import json
+
+    path = tmp_path / "batch.jsonl"
+    out = run(
+        capsys,
+        "batch", "--benchmarks", "1", "--sizes", "8", "--workers", "2",
+        "--schedulers", "SCDS", "GOMCDS", "--telemetry", str(path),
+    )
+    assert f"wrote telemetry to {path}" in out
+    records = [json.loads(line) for line in path.read_text().splitlines()]
+    types = {r["type"] for r in records}
+    assert {"span", "counter", "event"} <= types
+    spans = [r for r in records if r["type"] == "span"]
+    assert any(r["name"] == "engine.batch" for r in spans)
+    # worker spans carry attribution after the merge
+    assert any(r["attrs"].get("worker_pid") for r in spans)
+    kinds = {r["kind"] for r in records if r["type"] == "event"}
+    assert {"batch.start", "solve.start", "batch.end"} <= kinds
+
+
+def test_batch_json_output_carries_merged_counters(capsys):
+    import json
+
+    out = run(
+        capsys,
+        "batch", "--benchmarks", "1", "--sizes", "8",
+        "--schedulers", "GOMCDS", "--format", "json",
+    )
+    payload = json.loads(out)
+    assert payload["metrics"]["engine.batch.requests"] == 1
+    assert payload["metrics"]["engine.cache.misses"] == 1
+
+
+def test_tail_renders_telemetry_events(tmp_path, capsys):
+    path = tmp_path / "batch.jsonl"
+    run(
+        capsys,
+        "batch", "--benchmarks", "1", "--sizes", "8",
+        "--schedulers", "GOMCDS", "--telemetry", str(path),
+    )
+    out = run(capsys, "tail", str(path), "-n", "5")
+    assert "batch.end" in out
+    assert "matching record(s)" in out
+
+
+def test_tail_kind_prefix_filter_and_jsonl(tmp_path, capsys):
+    import json
+
+    path = tmp_path / "batch.jsonl"
+    run(
+        capsys,
+        "batch", "--benchmarks", "1", "--sizes", "8",
+        "--schedulers", "GOMCDS", "--telemetry", str(path),
+    )
+    out = run(
+        capsys, "tail", str(path), "--kind", "cache.", "--format", "jsonl"
+    )
+    records = [json.loads(line) for line in out.splitlines()]
+    assert records
+    assert all(r["kind"].startswith("cache.") for r in records)
+
+
+def test_tail_all_includes_span_records(tmp_path, capsys):
+    path = tmp_path / "metrics.jsonl"
+    run(capsys, "figure1", "--metrics", str(path))
+    out = run(capsys, "tail", str(path), "--all", "-n", "200")
+    assert "scheduler.gomcds" in out
+
+
+def test_tail_missing_file_is_config_error(capsys):
+    code = main(["tail", "does/not/exist.jsonl"])
+    assert code == EXIT_CONFIG_ERROR
+    assert "cannot read telemetry file" in capsys.readouterr().err
+
+
+def test_tail_non_jsonl_file_is_config_error(tmp_path, capsys):
+    path = tmp_path / "junk.txt"
+    path.write_text("this is not json\n")
+    code = main(["tail", str(path)])
+    assert code == EXIT_CONFIG_ERROR
+    assert "not JSON-lines telemetry" in capsys.readouterr().err
+
+
+def test_profile_prometheus_format(capsys):
+    out = run(
+        capsys,
+        "profile", "--benchmarks", "1", "--size", "8",
+        "--format", "prometheus",
+    )
+    assert "# TYPE repro_sim_fetches_total counter" in out
+    assert "repro_sim_window_hops_count" in out

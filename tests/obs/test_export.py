@@ -93,7 +93,7 @@ def test_write_export_to_file(tmp_path):
 def test_write_export_unknown_format_raises():
     with pytest.raises(ValueError, match="unknown export format"):
         write_export(session(), "xml", None)
-    assert set(EXPORT_FORMATS) == {"summary", "jsonl", "chrome"}
+    assert set(EXPORT_FORMATS) == {"summary", "jsonl", "chrome", "prometheus"}
 
 
 def test_noop_session_exports_cleanly():

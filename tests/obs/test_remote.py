@@ -1,0 +1,145 @@
+"""Cross-process telemetry: snapshots pickle cleanly and merge faithfully."""
+
+import os
+import pickle
+
+from repro.obs import (
+    NOOP,
+    FlightRecorder,
+    Instrumentation,
+    TelemetrySnapshot,
+    chrome_trace,
+    merge_snapshot,
+    snapshot,
+)
+
+
+def worker_session():
+    """A session shaped like what a pool worker records for one solve."""
+    instr = Instrumentation.started()
+    with instr.span("engine.request", algorithm="GOMCDS"):
+        with instr.span("scheduler.gomcds"):
+            instr.count("engine.cache.misses")
+            instr.count("gomcds.relocations", 4)
+        instr.gauge("gomcds.dp_cells", 640)
+        instr.observe("sim.window_hops", 7.0)
+    return instr
+
+
+def test_snapshot_is_picklable_and_flat():
+    snap = snapshot(worker_session(), label="bench1", events=())
+    clone = pickle.loads(pickle.dumps(snap))
+    assert clone == snap
+    assert clone.pid == os.getpid()
+    assert clone.label == "bench1"
+    assert clone.n_spans == 2
+    names = [s[0] for s in clone.spans]
+    assert names == ["engine.request", "scheduler.gomcds"]
+    assert dict(clone.counters)["gomcds.relocations"] == 4.0
+    assert clone.to_dict()["n_spans"] == 2
+
+
+def test_merge_attaches_worker_attribution():
+    parent = Instrumentation.started()
+    snap = snapshot(worker_session(), events=())
+    merged = merge_snapshot(parent, snap, worker_id=3)
+    assert merged == 2
+    for span in parent.tracer.spans:
+        assert span.attrs["worker"] == 3
+        assert span.attrs["worker_pid"] == snap.pid
+    # worker-local nesting depth survives the merge
+    assert [s.depth for s in parent.tracer.spans] == [0, 1]
+
+
+def test_merge_accumulates_counters_and_histograms():
+    parent = Instrumentation.started()
+    parent.count("engine.cache.misses", 2)
+    snap = snapshot(worker_session(), events=())
+    merge_snapshot(parent, snap)
+    merge_snapshot(parent, snap)
+    assert parent.metrics.counters["engine.cache.misses"].value == 4.0
+    assert parent.metrics.gauges["gomcds.dp_cells"].value == 640.0
+    hist = parent.metrics.histograms["sim.window_hops"]
+    assert hist.samples == [7.0, 7.0]
+
+
+def test_merge_shifts_worker_spans_onto_parent_clock():
+    parent = Instrumentation.started()
+    worker = worker_session()  # started after the parent -> offset > 0
+    merge_snapshot(parent, snapshot(worker, events=()))
+    outer = parent.tracer.spans[0]
+    # the worker session started strictly after the parent session, so
+    # its t0 maps to a positive offset on the parent timeline
+    assert outer.start_us >= 0.0
+
+
+def test_merge_clamps_negative_offsets():
+    worker = worker_session()
+    parent = Instrumentation.started()  # started *after* the worker
+    raw_start = worker.tracer.spans[0].start_us
+    merge_snapshot(parent, snapshot(worker, events=()))
+    assert parent.tracer.spans[0].start_us == raw_start
+
+
+def test_merge_into_noop_is_dropped():
+    snap = snapshot(worker_session(), events=())
+    assert merge_snapshot(NOOP, snap) == 0
+    assert NOOP.tracer.spans == []
+
+
+def test_merge_adopts_events_with_attribution():
+    parent = Instrumentation.started()
+    ring = FlightRecorder()
+    snap = snapshot(
+        worker_session(),
+        events=[{"seq": 7, "kind": "cache.miss", "key": "abc"}],
+    )
+    merge_snapshot(parent, snap, worker_id=2, recorder=ring)
+    (event,) = ring.events()
+    assert event["kind"] == "cache.miss"
+    assert event["worker"] == 2
+    assert event["worker_pid"] == snap.pid
+    assert event["seq"] == 0  # re-stamped locally
+
+
+def test_merged_spans_render_as_worker_lanes():
+    parent = Instrumentation.started()
+    with parent.span("engine.batch"):
+        pass
+    snap = snapshot(worker_session(), events=())
+    merge_snapshot(parent, snap, worker_id=1)
+    trace = chrome_trace(parent)
+    spans = [e for e in trace["traceEvents"] if e["ph"] == "X"]
+    lanes = {e["name"]: e["tid"] for e in spans}
+    assert lanes["engine.batch"] == 0
+    assert lanes["engine.request"] == lanes["scheduler.gomcds"] == 1
+    names = [
+        e["args"]["name"]
+        for e in trace["traceEvents"]
+        if e["ph"] == "M" and e["name"] == "thread_name"
+    ]
+    assert "main" in names
+    assert f"worker 1 (pid {snap.pid})" in names
+
+
+def test_snapshot_defaults_to_global_ring_events():
+    from repro.obs import flight_recorder, record_event
+
+    watermark = flight_recorder().next_seq
+    record_event("test.remote", tag="x")
+    snap = snapshot(Instrumentation.started())
+    tags = [e.get("tag") for e in snap.events if e["kind"] == "test.remote"]
+    assert "x" in tags
+    # explicit slice keeps only this task's events
+    sliced = snapshot(
+        Instrumentation.started(),
+        events=flight_recorder().events_since(watermark),
+    )
+    assert all(e["seq"] >= watermark for e in sliced.events)
+
+
+def test_empty_snapshot_merges_cleanly():
+    parent = Instrumentation.started()
+    empty = TelemetrySnapshot(pid=123, anchor_unix_us=0.0)
+    assert merge_snapshot(parent, empty) == 0
+    assert parent.tracer.spans == []
