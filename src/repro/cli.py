@@ -20,6 +20,9 @@ Usage::
     python -m repro heatmap [--bench 1 --size 16] [--scheduler GOMCDS]
     python -m repro bench-compare [--baseline BENCH_schedulers.json] \
         [--time-tolerance-pct 50] [--format human|json]
+    python -m repro explain [--bench 1 --size 16] [--scheduler GOMCDS] \
+        [--datum D] [--window W] [--fail-node P] [--format human|json|jsonl] \
+        [--diff A.jsonl B.jsonl] [--max-overhead-pct 5]
 
 Every subcommand additionally accepts ``--metrics PATH``: the run is
 executed under a recording instrumentation session and the collected
@@ -164,6 +167,7 @@ def main(argv: list[str] | None = None) -> int:
     _add_profile_parser(add_parser)
     _add_heatmap_parser(add_parser)
     _add_bench_compare_parser(add_parser)
+    _add_explain_parser(add_parser)
     args = parser.parse_args(argv)
 
     try:
@@ -931,6 +935,179 @@ def _add_bench_compare_parser(add_parser) -> None:
     )
 
 
+def _add_explain_parser(add_parser) -> None:
+    parser = add_parser(
+        "explain",
+        help="decision provenance for one solve: per-window decision "
+        "tables, per-datum timelines, counterfactual deltas and exact "
+        "cost attribution (docs/explain.md); exits 3 when the log "
+        "diverges from the schedule (VER012)",
+    )
+    parser.add_argument("--bench", type=int, default=1, help="paper benchmark id")
+    parser.add_argument("--size", type=int, default=16, help="matrix size n")
+    parser.add_argument(
+        "--mesh", type=int, nargs=2, default=[4, 4], metavar=("ROWS", "COLS")
+    )
+    parser.add_argument("--seed", type=int, default=1998)
+    parser.add_argument(
+        "--scheduler", default="GOMCDS", metavar="NAME",
+        help="scheduler to explain (SCDS/LOMCDS/GOMCDS)",
+    )
+    parser.add_argument(
+        "--kernel", choices=("numpy", "python"), default="numpy",
+        help="solver kernel; the python oracle doubles as a provenance oracle",
+    )
+    parser.add_argument(
+        "--capacity-multiplier", type=float, default=2.0,
+        help="paper-rule capacity sizing",
+    )
+    parser.add_argument(
+        "--fail-node", type=int, default=None, metavar="PID",
+        help="explain the fault-aware reschedule with this processor down",
+    )
+    parser.add_argument(
+        "--fail-window", type=int, default=0, metavar="W",
+        help="window the --fail-node failure starts in",
+    )
+    parser.add_argument(
+        "--datum", type=int, default=None, metavar="D",
+        help="narrow to one datum's placement timeline",
+    )
+    parser.add_argument(
+        "--window", type=int, default=None, metavar="W",
+        help="narrow to one window's decision table",
+    )
+    parser.add_argument(
+        "--top", type=int, default=10, metavar="N",
+        help="rows per window table in the full human rendering",
+    )
+    parser.add_argument(
+        "--format", choices=("human", "json", "jsonl"), default="human",
+        dest="fmt", help="jsonl streams every decision record",
+    )
+    parser.add_argument(
+        "--output", metavar="PATH", default=None,
+        help="write the rendering to a file instead of stdout",
+    )
+    parser.add_argument(
+        "--check", action="store_true",
+        help="print the audit verdict even in machine formats (the audit "
+        "itself always runs; divergence always exits 3)",
+    )
+    parser.add_argument(
+        "--diff", nargs=2, metavar=("A", "B"), default=None,
+        help="compare two 'explain --format jsonl' exports decision by "
+        "decision (e.g. fault-free vs faulted reschedule)",
+    )
+    parser.add_argument(
+        "--max-overhead-pct", type=float, default=None, metavar="PCT",
+        help="instead of explaining, gate the dark-path cost of the "
+        "provenance plumbing: median recording-but-provenance-off solve "
+        "must be within PCT%% of the dark median",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=5,
+        help="timing repeats for --max-overhead-pct",
+    )
+
+
+def _run_explain(args) -> int:
+    from .analysis import (
+        diff_explain_records,
+        explain_records,
+        explain_workload,
+        load_explain_records,
+        measure_overhead,
+        render_explain_diff,
+        render_explain_human,
+    )
+
+    if args.diff is not None:
+        diff = diff_explain_records(
+            load_explain_records(args.diff[0]),
+            load_explain_records(args.diff[1]),
+        )
+        if args.fmt == "human":
+            text = render_explain_diff(diff, top=args.top)
+        else:
+            import json as _json
+
+            text = _json.dumps(diff, sort_keys=True)
+        _write_or_print(text, args.output)
+        return EXIT_OK
+
+    if args.max_overhead_pct is not None:
+        report = measure_overhead(
+            bench=args.bench,
+            size=args.size,
+            mesh=tuple(args.mesh),
+            seed=args.seed,
+            scheduler=args.scheduler.upper(),
+            repeats=args.repeats,
+        )
+        for key, value in report.items():
+            print(f"  {key}: {_fmt(value)}")
+        if report["overhead_pct"] > args.max_overhead_pct:
+            print(
+                f"error: dark-path overhead {report['overhead_pct']:.1f}% "
+                f"exceeds the {args.max_overhead_pct:g}% budget",
+                file=sys.stderr,
+            )
+            return EXIT_CONFIG_ERROR
+        return EXIT_OK
+
+    result = explain_workload(
+        bench=args.bench,
+        size=args.size,
+        mesh=tuple(args.mesh),
+        seed=args.seed,
+        scheduler=args.scheduler.upper(),
+        kernel=args.kernel,
+        capacity_multiplier=args.capacity_multiplier,
+        fail_node=args.fail_node,
+        fail_window=args.fail_window,
+    )
+    data = None if args.datum is None else [args.datum]
+    windows = None if args.window is None else [args.window]
+    if args.fmt == "human":
+        text = render_explain_human(
+            result, datum=args.datum, window=args.window, top=args.top
+        )
+    else:
+        import json as _json
+
+        records = list(explain_records(result, data=data, windows=windows))
+        if args.fmt == "json":
+            text = _json.dumps(records, sort_keys=True, indent=2)
+        else:
+            text = "\n".join(_json.dumps(rec, sort_keys=True) for rec in records)
+    _write_or_print(text, args.output)
+    diverged = bool(result.diagnostics) or not result.attribution_exact
+    if args.check or diverged:
+        verdict = "DIVERGED" if diverged else "exact"
+        stream = sys.stderr if diverged else sys.stdout
+        print(
+            f"provenance audit: attribution {verdict} "
+            f"(attributed {result.log.attribution().total:g}, "
+            f"evaluated {result.breakdown.total:g}, "
+            f"{len(result.diagnostics)} diagnostic(s))",
+            file=stream,
+        )
+        for diag in result.diagnostics:
+            print(f"  {diag.render()}", file=sys.stderr)
+    return EXIT_UNREACHABLE_DATA if diverged else EXIT_OK
+
+
+def _write_or_print(text: str, output: str | None) -> None:
+    if output:
+        from pathlib import Path
+
+        Path(output).write_text(text + "\n")
+        print(f"wrote {output}")
+    else:
+        print(text)
+
+
 def _run_profile(args) -> int:
     from .analysis import PROFILE_SCHEDULERS, profile_suite
     from .obs import write_export
@@ -1294,6 +1471,8 @@ def _dispatch(args) -> int:
         return _run_heatmap(args)
     if args.command == "bench-compare":
         return _run_bench_compare(args)
+    if args.command == "explain":
+        return _run_explain(args)
     if args.command in ("table1", "table2"):
         sizes = tuple(args.sizes if not args.fast else [8, 16])
         runner = run_table1 if args.command == "table1" else run_table2

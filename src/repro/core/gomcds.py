@@ -24,7 +24,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..mem import CapacityError, CapacityPlan, OccupancyTracker
-from ..obs import Instrumentation, resolve
+from ..obs import Instrumentation, record_decisions, resolve
 from ..trace import ReferenceTensor
 from .cost import CostModel
 from .kernels import (
@@ -228,6 +228,7 @@ def gomcds(
             else shortest_center_path
         )
 
+        record = obs.provenance.recording
         if capacity is None:
             with obs.span("gomcds.dp_sweep"):
                 if kernel == "python":
@@ -258,6 +259,11 @@ def gomcds(
                 else:
                     centers = _all_paths_vectorized(costs, dist, vols)
                     meta = {}
+            if record:
+                record_decisions(
+                    obs, costs=costs, centers=centers, model=model,
+                    method="GOMCDS", kernel=kernel,
+                )
             return Schedule(
                 centers=centers,
                 windows=tensor.windows,
@@ -273,14 +279,15 @@ def gomcds(
         )
         masks = (
             np.empty((n_data, n_windows, model.n_procs), dtype=bool)
-            if certify
+            if certify or record
             else None
         )
         with obs.span("gomcds.capacity_walk"):
             for d in tensor.data_priority_order():
                 allowed = tracker.available_mask()
-                if certify:
+                if masks is not None:
                     masks[d] = allowed
+                if certify:
                     path, _, potentials[d] = solve_path(
                         costs[d], vols[d] * dist, allowed=allowed,
                         return_potentials=True,
@@ -292,6 +299,11 @@ def gomcds(
                 tracker.claim_path(path)
                 centers[d] = path
         meta = {"certificate": _certificate(potentials, masks)} if certify else {}
+        if record:
+            record_decisions(
+                obs, costs=costs, centers=centers, model=model,
+                method="GOMCDS", kernel=kernel, masks=masks,
+            )
         return Schedule(
             centers=centers, windows=tensor.windows, method="GOMCDS", meta=meta
         )

@@ -13,7 +13,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..mem import CapacityPlan, OccupancyTracker, first_available
-from ..obs import Instrumentation, resolve
+from ..obs import Instrumentation, record_decisions, resolve
 from ..trace import ReferenceTensor
 from .cost import CostModel
 from .kernels import (
@@ -64,6 +64,7 @@ def lomcds(
                 costs = model.all_placement_costs(tensor)  # (D, W, m)
         referenced = tensor.counts.sum(axis=2) > 0  # (D, W)
 
+        record = obs.provenance.recording
         if capacity is None:
             with obs.span("lomcds.local_argmin"):
                 if kernel == "python":
@@ -72,6 +73,11 @@ def lomcds(
                 else:
                     centers = costs.argmin(axis=2)  # lowest-pid tie-break
                     hold_position_numpy(centers, referenced)
+            if record:
+                record_decisions(
+                    obs, costs=costs, centers=centers, model=model,
+                    method="LOMCDS", kernel=kernel,
+                )
             return Schedule(
                 centers=centers, windows=tensor.windows, method="LOMCDS"
             )
@@ -79,12 +85,20 @@ def lomcds(
         capacity.check_feasible(n_data)
         tracker = OccupancyTracker(capacity, n_windows=n_windows)
         centers = np.empty((n_data, n_windows), dtype=np.int64)
+        masks = (
+            np.zeros((n_data, n_windows, model.n_procs), dtype=bool)
+            if record
+            else None
+        )
+        evictions: list[tuple[int, int]] | None = [] if record else None
         with obs.span("lomcds.capacity_walk") as walk:
             idle_holds = idle_evictions = 0
             for d in tensor.data_priority_order():
                 prev: int | None = None
                 for w in range(n_windows):
                     available = tracker.available_in_window(w)
+                    if masks is not None:
+                        masks[d, w] = available
                     if referenced[d, w] or prev is None:
                         proc = first_available(costs[d, w], available)
                     elif available[prev]:
@@ -96,12 +110,20 @@ def lomcds(
                         # its processor list after all
                         proc = first_available(costs[d, w], available)
                         idle_evictions += 1
+                        if evictions is not None:
+                            evictions.append((d, w))
                     tracker.claim(proc, w)
                     centers[d, w] = proc
                     prev = proc
             walk.set(idle_holds=idle_holds, idle_evictions=idle_evictions)
             obs.count("lomcds.idle_holds", idle_holds)
             obs.count("lomcds.idle_evictions", idle_evictions)
+        if record:
+            record_decisions(
+                obs, costs=costs, centers=centers, model=model,
+                method="LOMCDS", kernel=kernel, masks=masks,
+                evictions=evictions,
+            )
         return Schedule(
             centers=centers, windows=tensor.windows, method="LOMCDS"
         )

@@ -23,7 +23,7 @@ import numpy as np
 from ..diagnostics import FLT004
 from ..faults import FaultPlan
 from ..mem import CapacityError, CapacityPlan, OccupancyTracker
-from ..obs import Instrumentation, resolve
+from ..obs import Instrumentation, record_decisions, resolve
 from ..trace import ReferenceTensor
 from .cost import CostModel
 from .gomcds import _certificate, shortest_center_path
@@ -124,11 +124,12 @@ def reschedule_around_faults(
             capacity.check_feasible(n_data)
             tracker = OccupancyTracker(capacity, n_windows=n_windows)
 
+        record = obs.provenance.recording
         centers = np.empty((n_data, n_windows), dtype=np.int64)
         potentials = np.empty((n_data, n_windows, n_procs)) if certify else None
         masks = (
             np.empty((n_data, n_windows, n_procs), dtype=bool)
-            if certify
+            if certify or record
             else None
         )
         with obs.span("reschedule.capacity_walk"):
@@ -136,8 +137,9 @@ def reschedule_around_faults(
                 allowed = (
                     alive if tracker is None else alive & tracker.available_mask()
                 )
-                if certify:
+                if masks is not None:
                     masks[d] = allowed
+                if certify:
                     path, _, potentials[d] = shortest_center_path(
                         costs[d], vols[d] * dist, allowed=allowed,
                         return_potentials=True,
@@ -152,6 +154,12 @@ def reschedule_around_faults(
         meta = {"n_node_faults": len(plan.node_faults)}
         if certify:
             meta["certificate"] = _certificate(potentials, masks)
+        if record:
+            record_decisions(
+                obs, costs=costs, centers=centers, model=model,
+                method="GOMCDS+faults", masks=masks,
+                meta={"n_node_faults": len(plan.node_faults)},
+            )
         return Schedule(
             centers=centers,
             windows=tensor.windows,
@@ -238,7 +246,8 @@ def reschedule_from_window(
         obs.gauge("reschedule.masked_cells", int((~alive).sum()))
 
         with obs.span("reschedule.cost_tensor"):
-            costs = model.all_placement_costs(tensor)[:, from_window:, :]
+            full_costs = model.all_placement_costs(tensor)
+            costs = full_costs[:, from_window:, :]
         dist = model.distances.astype(np.float64)
         vols = (
             np.ones(n_data)
@@ -251,12 +260,19 @@ def reschedule_from_window(
             capacity.check_feasible(n_data)
             tracker = OccupancyTracker(capacity, n_windows=n_suffix)
 
+        record = obs.provenance.recording
         centers = schedule.centers.copy()
         potentials = np.empty((n_data, n_suffix, n_procs)) if certify else None
         masks = (
             np.empty((n_data, n_suffix, n_procs), dtype=bool)
             if certify
             else None
+        )
+        # provenance covers the full horizon (prefix decisions are history,
+        # admissible everywhere), so attribution reconstructs the produced
+        # schedule's CostBreakdown, prefix included
+        prov_masks = (
+            np.ones((n_data, n_windows, n_procs), dtype=bool) if record else None
         )
         with obs.span("reschedule.capacity_walk"):
             for d in tensor.data_priority_order():
@@ -268,8 +284,11 @@ def reschedule_from_window(
                 allowed = (
                     alive if tracker is None else alive & tracker.available_mask()
                 )
-                if certify:
+                if masks is not None:
                     masks[d] = allowed
+                if prov_masks is not None:
+                    prov_masks[d, from_window:] = allowed
+                if certify:
                     path, _, potentials[d] = shortest_center_path(
                         window_costs, vols[d] * dist, allowed=allowed,
                         return_potentials=True,
@@ -289,6 +308,16 @@ def reschedule_from_window(
         if certify:
             meta["certificate"] = _certificate(
                 potentials, masks, from_window=from_window, placement=placement
+            )
+        if record:
+            record_decisions(
+                obs, costs=full_costs, centers=centers, model=model,
+                method="GOMCDS+recovery", masks=prov_masks,
+                meta={
+                    "from_window": from_window,
+                    "n_node_faults": len(plan.node_faults),
+                    "base_method": schedule.method,
+                },
             )
         return Schedule(
             centers=centers,

@@ -13,7 +13,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..mem import CapacityPlan, OccupancyTracker, first_available
-from ..obs import Instrumentation, resolve
+from ..obs import Instrumentation, record_decisions, resolve
 from ..trace import ReferenceTensor
 from .cost import CostModel
 from .kernels import (
@@ -68,34 +68,51 @@ def scds(
         constrained=capacity is not None,
         kernel=kernel,
     ):
+        record = obs.provenance.recording
         # Line 2-4 of Algorithm 1: cost of putting datum i at node j, with
         # all windows collected together.
         with obs.span("scds.cost_tensor"):
             if kernel == "python":
-                totals = merged_totals_python(
-                    placement_cost_tensor_python(tensor, model)
-                )
+                costs = placement_cost_tensor_python(tensor, model)
+                totals = merged_totals_python(costs)
             else:
-                totals = model.all_placement_costs(tensor).sum(axis=1)  # (D, m)
+                costs = model.all_placement_costs(tensor)  # (D, W, m)
+                totals = costs.sum(axis=1)  # (D, m)
 
         if capacity is None:
             # Stable argmin = lowest-pid tie-breaking.
             with obs.span("scds.argmin"):
                 centers = totals.argmin(axis=1)
-            return Schedule.static(centers, tensor.windows, method="SCDS")
+            result = Schedule.static(centers, tensor.windows, method="SCDS")
+            if record:
+                record_decisions(
+                    obs, costs=costs, centers=result.centers, model=model,
+                    method="SCDS", kernel=kernel,
+                )
+            return result
 
         capacity.check_feasible(n_data)
         tracker = OccupancyTracker(capacity, n_windows=1)
         centers = np.empty(n_data, dtype=np.int64)
+        masks = np.zeros((n_data, model.n_procs), dtype=bool) if record else None
         with obs.span("scds.capacity_walk") as walk:
             fallbacks = 0
             for d in tensor.data_priority_order():
                 # Lines 5-7: sorted processor list, first available slot.
-                proc = first_available(totals[d], tracker.available_in_window(0))
+                available = tracker.available_in_window(0)
+                if masks is not None:
+                    masks[d] = available
+                proc = first_available(totals[d], available)
                 if proc != int(totals[d].argmin()):
                     fallbacks += 1
                 tracker.claim(proc, 0)
                 centers[d] = proc
             walk.set(fallbacks=fallbacks)
             obs.count("scheduler.capacity_fallbacks", fallbacks)
-        return Schedule.static(centers, tensor.windows, method="SCDS")
+        result = Schedule.static(centers, tensor.windows, method="SCDS")
+        if record:
+            record_decisions(
+                obs, costs=costs, centers=result.centers, model=model,
+                method="SCDS", kernel=kernel, masks=masks,
+            )
+        return result

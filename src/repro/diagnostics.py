@@ -53,6 +53,7 @@ __all__ = [
     # dynamic observability codes (not lint rules)
     "OBS001",
     "OBS002",
+    "OBS003",
     # benchmark regression-sentinel codes (not lint rules)
     "REG001",
     "REG002",
@@ -75,6 +76,7 @@ __all__ = [
     "VER009",
     "VER010",
     "VER011",
+    "VER012",
     "VERIFY_CODES",
     "DIVERGENCE_CODES",
 ]
@@ -140,6 +142,9 @@ OBS001 = "OBS001"
 # Link-load imbalance: the Gini coefficient of per-link traffic exceeds
 # the configured threshold (traffic concentrates on few wires).
 OBS002 = "OBS002"
+# Observability misconfiguration: an environment override (for example a
+# non-positive REPRO_FLIGHT_CAPACITY ring size) is invalid.
+OBS003 = "OBS003"
 
 # Benchmark cost regression: a seeded scheduler cost diverged from the
 # tracked baseline (costs are deterministic, so any delta is a real change).
@@ -167,7 +172,7 @@ RCV004 = "RCV004"
 #: `repro.analysis.regression`, `repro.analysis.chaos`); catalogued in
 #: ``docs/observability.md`` and ``docs/fault-model.md``.
 DYNAMIC_CODES = (
-    OBS001, OBS002, REG001, REG002, REG003,
+    OBS001, OBS002, OBS003, REG001, REG002, REG003,
     RCV001, RCV002, RCV003, RCV004,
 )
 
@@ -206,6 +211,10 @@ VER010 = "VER010"
 # Theory cross-check failure: certified placement-cost rows violate the
 # Lemma 1 / Theorem 2 structure (separable convexity along mesh axes).
 VER011 = "VER011"
+# Decision-provenance divergence: a solver's decision log disagrees with
+# the schedule it shipped with (centers, live-ranges, action structure,
+# or the bit-exact cost-attribution invariant).
+VER012 = "VER012"
 
 #: Codes produced by the static schedule certifier (``repro certify``);
 #: catalogued in ``docs/diagnostics.md`` and ``docs/certify.md``.  These
@@ -213,13 +222,13 @@ VER011 = "VER011"
 #: checking and the static-vs-dynamic differential gate.
 VERIFY_CODES = (
     VER001, VER002, VER003, VER004, VER005, VER006,
-    VER007, VER008, VER009, VER010, VER011,
+    VER007, VER008, VER009, VER010, VER011, VER012,
 )
 
 #: The certifier codes whose presence means the toolchain itself is
 #: suspect — a broken/forged certificate or a static-vs-dynamic
 #: divergence — surfaced as exit code 3 by ``repro certify``.
-DIVERGENCE_CODES = (VER005, VER006, VER007, VER008, VER009, VER010)
+DIVERGENCE_CODES = (VER005, VER006, VER007, VER008, VER009, VER010, VER012)
 
 
 class Severity(enum.IntEnum):

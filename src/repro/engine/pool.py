@@ -131,19 +131,31 @@ def _solve_one(
     return solved, perf_counter() - start
 
 
-def _solve_in_worker(request: ScheduleRequest, kernel: str | None, collect: bool):
+def _label_decisions(store, request: ScheduleRequest, start: int = 0) -> None:
+    """Stamp the request label onto decision logs it produced."""
+    for log in store.logs[start:]:
+        if log.label is None:
+            log.label = request.label
+
+
+def _solve_in_worker(
+    request: ScheduleRequest,
+    kernel: str | None,
+    collect: bool,
+    provenance: bool = False,
+):
     """Pool-worker entry: solve, optionally harvesting telemetry.
 
     With ``collect`` the solve runs under a fresh recording session —
-    solver phase spans, counters and the worker's flight-recorder
-    events for *this task* are flattened into a snapshot and shipped
-    home with the result.  Handles never cross the boundary; snapshots
-    do.
+    solver phase spans, counters, decision logs (when the parent session
+    records provenance) and the worker's flight-recorder events for
+    *this task* are flattened into a snapshot and shipped home with the
+    result.  Handles never cross the boundary; snapshots do.
     """
     if not collect:
         solved, elapsed = _solve_one(request, kernel)
         return solved, elapsed, None
-    instr = Instrumentation.started()
+    instr = Instrumentation.started(provenance=provenance)
     ring = flight_recorder()
     watermark = ring.next_seq
     record_event(
@@ -159,6 +171,7 @@ def _solve_in_worker(request: ScheduleRequest, kernel: str | None, collect: bool
         label=request.label,
         elapsed_us=elapsed * 1e6,
     )
+    _label_decisions(instr.provenance, request)
     snap = snapshot(
         instr, label=request.label, events=ring.events_since(watermark)
     )
@@ -284,6 +297,7 @@ def _run_pending(pending, workers, kernel, obs):
             record_event(
                 "solve.start", algorithm=request.algorithm, label=request.label
             )
+            logged = len(obs.provenance)
             with obs.span(
                 "engine.request",
                 algorithm=request.algorithm,
@@ -296,15 +310,17 @@ def _run_pending(pending, workers, kernel, obs):
                 label=request.label,
                 elapsed_us=elapsed * 1e6,
             )
+            _label_decisions(obs.provenance, request, start=logged)
             outcomes.append((solved, elapsed))
         return outcomes
 
     collect = obs.enabled
+    provenance = obs.provenance.recording
     with ProcessPoolExecutor(
         max_workers=workers, initializer=_worker_init
     ) as pool:
         futures = [
-            pool.submit(_solve_in_worker, request, kernel, collect)
+            pool.submit(_solve_in_worker, request, kernel, collect, provenance)
             for _, request in pending
         ]
         results = [future.result() for future in futures]

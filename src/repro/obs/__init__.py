@@ -34,6 +34,16 @@ from .spatial import (
     gini_coefficient,
 )
 from .tracer import NULL_SPAN, NullTracer, Span, Tracer
+from .provenance import (
+    ACTION_NAMES,
+    NULL_PROVENANCE_STORE,
+    DecisionLog,
+    NullProvenanceStore,
+    ProvenanceStore,
+    derive_decisions,
+    derive_decisions_python,
+    record_decisions,
+)
 from .recorder import (
     FlightRecorder,
     flight_recorder,
@@ -87,4 +97,13 @@ __all__ = [
     "FlightRecorder",
     "flight_recorder",
     "record_event",
+    # decision provenance (docs/explain.md)
+    "ACTION_NAMES",
+    "DecisionLog",
+    "ProvenanceStore",
+    "NullProvenanceStore",
+    "NULL_PROVENANCE_STORE",
+    "derive_decisions",
+    "derive_decisions_python",
+    "record_decisions",
 ]

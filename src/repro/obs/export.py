@@ -131,6 +131,13 @@ def render_summary(instrument: Instrumentation, results=()) -> str:
         lines.append("Spatial telemetry:")
         for trace in spatial_traces:
             lines.append(_render_spatial_section(trace))
+    decision_logs = instrument.provenance.logs
+    if decision_logs:
+        lines.append("Decision provenance:")
+        for log in decision_logs:
+            breakdown = log.attribution()
+            lines.append(f"  {log.summary()}")
+            lines.append(f"    attributed {breakdown.summary()}")
     for result in results or ():
         lines.append(result.summary())
     if not lines:
@@ -188,8 +195,42 @@ def to_jsonl(instrument: Instrumentation, results=()) -> str:
         rec.update(_jsonable(trace.to_dict()))
         rec["analytics"] = _jsonable(analyze_spatial(trace).to_dict())
         records.append(rec)
+    # decision logs export their summary header here; the full per-cell
+    # decision stream is ``repro explain``'s JSONL output
+    for log in instrument.provenance.logs:
+        records.append(_jsonable(log.to_dict()))
     records.extend(_result_records(results))
     return "\n".join(json.dumps(rec, sort_keys=True) for rec in records)
+
+
+def _worker_lanes(spans) -> dict:
+    """Deterministic ``(worker, worker_pid) -> tid`` lane assignment.
+
+    The full set of worker keys is collected first and sorted (``None``
+    last within each slot), then numbered ``1, 2, ...`` — so the lane a
+    worker lands on depends only on its identity, never on which
+    harvested snapshot happened to arrive first.
+    """
+    keys = set()
+    for span in spans:
+        wid = span.attrs.get("worker")
+        wpid = span.attrs.get("worker_pid")
+        if wid is None and wpid is None:
+            continue
+        keys.add((wid, wpid))
+
+    def order(key):
+        wid, wpid = key
+        return (
+            wid is None,
+            wid if isinstance(wid, (int, float)) else 0,
+            str(wid),
+            wpid is None,
+            wpid if isinstance(wpid, (int, float)) else 0,
+            str(wpid),
+        )
+
+    return {key: tid for tid, key in enumerate(sorted(keys, key=order), 1)}
 
 
 def chrome_trace(instrument: Instrumentation, results=()) -> dict:
@@ -205,6 +246,9 @@ def chrome_trace(instrument: Instrumentation, results=()) -> dict:
     attached by :func:`repro.obs.remote.merge_snapshot`) are rendered on
     their own ``tid`` lane — one per worker, named by ``thread_name``
     metadata — so a multi-process batch reads as a single timeline.
+    Lane numbers are assigned from the *sorted* set of worker keys, not
+    harvest arrival order, so the same batch always renders the same
+    trace regardless of which worker finished first.
     """
     events = [
         {
@@ -226,7 +270,7 @@ def chrome_trace(instrument: Instrumentation, results=()) -> dict:
             "args": {"name": "main"},
         },
     ]
-    lanes: dict = {}  # (worker, worker_pid) -> tid (> 0)
+    lanes = _worker_lanes(instrument.tracer.spans)
     last_ts = 0.0
     for span in instrument.tracer.spans:
         last_ts = max(last_ts, span.start_us + span.duration_us)
@@ -235,10 +279,7 @@ def chrome_trace(instrument: Instrumentation, results=()) -> dict:
         if wid is None and wpid is None:
             tid = 0
         else:
-            key = (wid, wpid)
-            tid = lanes.get(key)
-            if tid is None:
-                tid = lanes[key] = len(lanes) + 1
+            tid = lanes[(wid, wpid)]
         events.append(
             {
                 "name": span.name,

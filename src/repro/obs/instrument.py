@@ -22,6 +22,11 @@ from contextlib import contextmanager
 from dataclasses import dataclass, field
 
 from .metrics import MetricsRegistry, NullMetricsRegistry
+from .provenance import (
+    NULL_PROVENANCE_STORE,
+    NullProvenanceStore,
+    ProvenanceStore,
+)
 from .spatial import NULL_SPATIAL_STORE, NullSpatialStore, SpatialStore
 from .tracer import NullTracer, Tracer
 
@@ -30,8 +35,8 @@ __all__ = ["Instrumentation", "NOOP", "resolve", "instrumented", "active"]
 
 @dataclass
 class Instrumentation:
-    """One observability session: span tracer, metrics registry, and an
-    (opt-in) spatial-telemetry store."""
+    """One observability session: span tracer, metrics registry, and the
+    (opt-in) spatial-telemetry and decision-provenance stores."""
 
     tracer: Tracer | NullTracer = field(default_factory=Tracer)
     metrics: MetricsRegistry | NullMetricsRegistry = field(
@@ -40,20 +45,31 @@ class Instrumentation:
     spatial: SpatialStore | NullSpatialStore = field(
         default_factory=SpatialStore
     )
+    provenance: ProvenanceStore | NullProvenanceStore = field(
+        default_factory=ProvenanceStore
+    )
     enabled: bool = True
 
     @classmethod
-    def started(cls, spatial: bool = False) -> "Instrumentation":
+    def started(
+        cls, spatial: bool = False, provenance: bool = False
+    ) -> "Instrumentation":
         """A fresh, recording instrumentation session.
 
         ``spatial=True`` additionally records per-link/per-processor
         mesh telemetry during replays (routes every fetch hop-by-hop —
         measurably slower, so it is a separate opt-in).
+
+        ``provenance=True`` additionally derives a per-solve
+        :class:`~repro.obs.provenance.DecisionLog` explaining every
+        placement decision (``docs/explain.md``) — also a separate
+        opt-in, because the derivation re-reads the cost tensor.
         """
         return cls(
             tracer=Tracer(),
             metrics=MetricsRegistry(),
             spatial=SpatialStore(recording=spatial),
+            provenance=ProvenanceStore(recording=provenance),
             enabled=True,
         )
 
@@ -80,6 +96,7 @@ NOOP = Instrumentation(
     tracer=NullTracer(),
     metrics=NullMetricsRegistry(),
     spatial=NULL_SPATIAL_STORE,
+    provenance=NULL_PROVENANCE_STORE,
     enabled=False,
 )
 

@@ -29,12 +29,15 @@ import time
 from collections import deque
 from pathlib import Path
 
+from ..diagnostics import OBS003, code_message
+
 __all__ = [
     "FlightRecorder",
     "flight_recorder",
     "record_event",
     "DEFAULT_CAPACITY",
     "DUMP_ENV_VAR",
+    "CAPACITY_ENV_VAR",
 ]
 
 #: Ring size of the process-global recorder; roughly one mid-sized batch
@@ -44,6 +47,39 @@ DEFAULT_CAPACITY = 512
 #: When set, :func:`dump_on_error` writes the ring to this path instead
 #: of stderr.
 DUMP_ENV_VAR = "REPRO_FLIGHT_DUMP"
+
+#: When set, sizes the process-global ring (a positive integer); long
+#: campaigns can keep more history, embedded runs less.
+CAPACITY_ENV_VAR = "REPRO_FLIGHT_CAPACITY"
+
+
+def _env_capacity() -> int:
+    """The configured global-ring capacity (``REPRO_FLIGHT_CAPACITY``).
+
+    Raises a coded ``OBS003`` :class:`ValueError` when the override is
+    not a positive integer, so a typo'd deployment fails loudly at the
+    first recorded event instead of silently truncating history.
+    """
+    raw = os.environ.get(CAPACITY_ENV_VAR)
+    if raw is None:
+        return DEFAULT_CAPACITY
+    try:
+        capacity = int(raw)
+    except ValueError:
+        raise ValueError(
+            code_message(
+                OBS003,
+                f"{CAPACITY_ENV_VAR}={raw!r} is not an integer",
+            )
+        ) from None
+    if capacity < 1:
+        raise ValueError(
+            code_message(
+                OBS003,
+                f"{CAPACITY_ENV_VAR}={raw!r} must be a positive ring size",
+            )
+        )
+    return capacity
 
 
 class FlightRecorder:
@@ -57,7 +93,9 @@ class FlightRecorder:
 
     def __init__(self, capacity: int = DEFAULT_CAPACITY):
         if capacity < 1:
-            raise ValueError("capacity must be positive")
+            raise ValueError(
+                code_message(OBS003, "ring capacity must be positive")
+            )
         self.capacity = int(capacity)
         self._events: deque[dict] = deque(maxlen=self.capacity)
         self._seq = 0
@@ -142,18 +180,23 @@ class FlightRecorder:
         return text
 
 
-#: The process-global ring every :func:`record_event` call lands in.
-_FLIGHT = FlightRecorder()
+#: The process-global ring every :func:`record_event` call lands in;
+#: created lazily so ``REPRO_FLIGHT_CAPACITY`` is read (and validated)
+#: at first use, not at import time.
+_FLIGHT: FlightRecorder | None = None
 
 
 def flight_recorder() -> FlightRecorder:
     """The process-global flight recorder (always recording)."""
+    global _FLIGHT
+    if _FLIGHT is None:
+        _FLIGHT = FlightRecorder(_env_capacity())
     return _FLIGHT
 
 
 def record_event(kind: str, **fields) -> dict:
     """Record one event on the process-global ring."""
-    return _FLIGHT.record(kind, **fields)
+    return flight_recorder().record(kind, **fields)
 
 
 def dump_on_error(context: str) -> None:
@@ -165,10 +208,11 @@ def dump_on_error(context: str) -> None:
     events on disk opt in, so expected failures (validation errors in
     tests, probing CLIs) do not spray stderr.
     """
-    _FLIGHT.record("error", context=str(context))
+    ring = flight_recorder()
+    ring.record("error", context=str(context))
     path = os.environ.get(DUMP_ENV_VAR)
     if path:
         try:
-            _FLIGHT.dump(path)
+            ring.dump(path)
         except OSError:  # pragma: no cover - unwritable dump path
             pass

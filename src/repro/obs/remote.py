@@ -56,6 +56,7 @@ class TelemetrySnapshot:
     gauges: tuple = ()  #: (name, value)
     histograms: tuple = ()  #: (name, samples, timestamps)
     events: tuple = ()  #: flight-recorder event dicts
+    decisions: tuple = ()  #: DecisionLog records (ndarrays pickle fine)
     label: str | None = None
 
     @property
@@ -116,6 +117,7 @@ def snapshot(
         gauges=gauges,
         histograms=histograms,
         events=tuple(dict(e) for e in events),
+        decisions=tuple(instrument.provenance.logs),
         label=label,
     )
 
@@ -167,4 +169,9 @@ def merge_snapshot(
         adopted = dict(event)
         adopted.update(attribution)
         ring.append(adopted)
+    if instrument.provenance.recording:
+        for log in snap.decisions:
+            # the worker already flight-recorded its provenance.solve
+            # events (merged just above), so adopt without re-recording
+            instrument.provenance.adopt(log)
     return len(snap.spans)

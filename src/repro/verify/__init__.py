@@ -12,7 +12,10 @@ Three pillars over ``Schedule``/``WindowSet``/``FaultPlan`` (see
    the ``VER011`` theory cross-check;
 3. a **differential gate** (:mod:`.differential`) comparing every
    static prediction against replayed ground truth —
-   ``VER008``–``VER010``.
+   ``VER008``–``VER010``;
+4. a **provenance auditor** (:mod:`.provenance`) cross-checking
+   decision logs (``repro explain``) against the interpreter's live
+   ranges and the evaluator's exact cost breakdown — ``VER012``.
 
 ``repro certify`` surfaces the stack on the CLI with exit codes
 0 (clean) / 1 (warnings) / 2 (static errors) / 3 (divergence).
@@ -36,6 +39,7 @@ from .output import (
     render_certify_json,
     render_certify_sarif,
 )
+from .provenance import check_provenance_log
 
 __all__ = [
     "StaticPrediction",
@@ -43,6 +47,7 @@ __all__ = [
     "check_certificate",
     "certificate_of",
     "run_differential",
+    "check_provenance_log",
     "CertifyReport",
     "certify_schedule",
     "certify_workload",

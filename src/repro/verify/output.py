@@ -22,6 +22,7 @@ from ..diagnostics import (
     VER009,
     VER010,
     VER011,
+    VER012,
     Severity,
 )
 from ..lint.output import sarif_document
@@ -47,6 +48,7 @@ VERIFY_RULE_TITLES: dict[str, tuple[str, Severity]] = {
     VER009: ("static/dynamic link-volume divergence", Severity.ERROR),
     VER010: ("delivery-accounting divergence", Severity.ERROR),
     VER011: ("theory cross-check failed", Severity.WARNING),
+    VER012: ("decision-provenance divergence", Severity.ERROR),
 }
 
 _SARIF_LEVELS = {

@@ -177,3 +177,63 @@ def test_chrome_trace_caps_link_series():
     assert trace["otherData"]["spatial_links_not_exported"] == (
         48 - CHROME_LINK_SERIES_CAP
     )
+
+
+def _worker_session(order):
+    """A session whose worker spans arrive in the given (wid, pid) order."""
+    instr = Instrumentation.started()
+    with instr.span("main.phase"):
+        pass
+    for wid, pid in order:
+        with instr.span("engine.request", worker=wid, worker_pid=pid):
+            pass
+    return instr
+
+
+def test_chrome_trace_worker_lanes_are_deterministic():
+    # same workers, different harvest arrival order -> identical lanes
+    arrival_a = [(2, 222), (1, 111), (3, 333)]
+    arrival_b = [(3, 333), (1, 111), (2, 222)]
+
+    def lane_map(instr):
+        events = chrome_trace(instr)["traceEvents"]
+        lanes = {}
+        for e in events:
+            if e["ph"] == "X" and "worker" in e["args"]:
+                lanes[e["args"]["worker"]] = e["tid"]
+        names = {
+            e["tid"]: e["args"]["name"]
+            for e in events
+            if e["ph"] == "M" and e["name"] == "thread_name"
+        }
+        return lanes, names
+
+    lanes_a, names_a = lane_map(_worker_session(arrival_a))
+    lanes_b, names_b = lane_map(_worker_session(arrival_b))
+    assert lanes_a == lanes_b == {1: 1, 2: 2, 3: 3}
+    assert names_a == names_b
+    assert names_a[1] == "worker 1 (pid 111)"
+    # the main lane stays tid 0
+    main = next(
+        e
+        for e in chrome_trace(_worker_session(arrival_a))["traceEvents"]
+        if e["ph"] == "X" and e["name"] == "main.phase"
+    )
+    assert main["tid"] == 0
+
+
+def test_summary_and_jsonl_surface_decision_logs():
+    from repro import schedule
+    from repro.core import CostModel
+    from repro.grid import Mesh2D
+    from repro.workloads import benchmark as make_benchmark
+
+    workload = make_benchmark(1, 8, Mesh2D(2, 4), seed=1998)
+    tensor = workload.reference_tensor()
+    instr = Instrumentation.started(provenance=True)
+    schedule(tensor, CostModel(workload.topology), instrument=instr)
+    assert "Decision provenance:" in render_summary(instr)
+    records = [json.loads(line) for line in to_jsonl(instr).splitlines()]
+    (header,) = [r for r in records if r["type"] == "provenance"]
+    assert header["method"] == "GOMCDS"
+    assert header["n_data"] == tensor.n_data

@@ -53,3 +53,49 @@ def test_instrumented_restores_on_exception():
     except RuntimeError:
         pass
     assert active() is NOOP
+
+
+def test_instrumented_nesting_resolves_to_inner_session():
+    # regression guard for the pool inline path: a solve running inside
+    # instrumented(inner) while an outer session is active must record
+    # into the inner session, and the outer must come back on exit
+    outer = Instrumentation.started()
+    inner = Instrumentation.started()
+    with instrumented(outer):
+        with instrumented(inner):
+            resolve(None).count("nested.counter", 1)
+            with resolve(None).span("nested.phase"):
+                pass
+        assert active() is outer
+        resolve(None).count("outer.counter", 1)
+    assert inner.metrics.counters["nested.counter"].value == 1.0
+    assert [s.name for s in inner.tracer.spans] == ["nested.phase"]
+    assert "nested.counter" not in outer.metrics.counters
+    assert outer.metrics.counters["outer.counter"].value == 1.0
+    assert active() is NOOP
+
+
+def test_instrumented_nesting_restores_outer_on_inner_exception():
+    outer = Instrumentation.started()
+    with instrumented(outer):
+        try:
+            with instrumented(Instrumentation.started()):
+                raise RuntimeError("inner boom")
+        except RuntimeError:
+            pass
+        assert active() is outer
+    assert active() is NOOP
+
+
+def test_nested_sessions_keep_separate_provenance_stores():
+    from repro.obs import NULL_PROVENANCE_STORE
+
+    assert NOOP.provenance is NULL_PROVENANCE_STORE
+    outer = Instrumentation.started(provenance=True)
+    inner = Instrumentation.started()  # recording, provenance off
+    with instrumented(outer):
+        assert resolve(None).provenance.recording is True
+        with instrumented(inner):
+            assert resolve(None).provenance.recording is False
+            assert resolve(None).provenance is not outer.provenance
+        assert resolve(None).provenance is outer.provenance

@@ -138,3 +138,58 @@ def test_dump_on_error_without_env_keeps_ring_in_memory(
     (event,) = flight_recorder().events_since(watermark)
     assert event["kind"] == "error"
     assert capsys.readouterr().err == ""
+
+
+def test_env_capacity_sizes_the_lazy_global_ring(monkeypatch):
+    import repro.obs.recorder as recorder
+
+    monkeypatch.setenv(recorder.CAPACITY_ENV_VAR, "7")
+    monkeypatch.setattr(recorder, "_FLIGHT", None)
+    ring = flight_recorder()
+    assert ring.capacity == 7
+    # created once; later env changes do not resize the live ring
+    monkeypatch.setenv(recorder.CAPACITY_ENV_VAR, "9")
+    assert flight_recorder() is ring
+
+
+@pytest.mark.parametrize("raw", ["0", "-3", "huge", "2.5", ""])
+def test_env_capacity_rejects_bad_overrides(monkeypatch, raw):
+    import repro.obs.recorder as recorder
+
+    monkeypatch.setenv(recorder.CAPACITY_ENV_VAR, raw)
+    monkeypatch.setattr(recorder, "_FLIGHT", None)
+    with pytest.raises(ValueError, match=r"\[OBS003\]"):
+        flight_recorder()
+    # the global stays unset, so a fixed env heals the process
+    monkeypatch.setenv(recorder.CAPACITY_ENV_VAR, "5")
+    assert flight_recorder().capacity == 5
+
+
+def test_constructor_rejects_nonpositive_with_coded_error():
+    with pytest.raises(ValueError, match=r"\[OBS003\]"):
+        FlightRecorder(capacity=-1)
+
+
+def test_provenance_solves_flight_record():
+    from repro.obs import Instrumentation
+    from repro.obs.provenance import ProvenanceStore, record_decisions
+    import numpy as np
+
+    class Model:
+        distances = np.zeros((2, 2))
+        volumes = None
+
+    ring = flight_recorder()
+    watermark = ring.next_seq
+    obs = Instrumentation.started(provenance=True)
+    assert isinstance(obs.provenance, ProvenanceStore)
+    costs = np.zeros((1, 1, 2))
+    record_decisions(
+        obs,
+        costs=costs,
+        centers=np.zeros((1, 1), dtype=np.int64),
+        model=Model(),
+        method="SCDS",
+    )
+    kinds = [e["kind"] for e in ring.events_since(watermark)]
+    assert kinds == ["provenance.solve"]

@@ -1,0 +1,102 @@
+"""The provenance auditor: VER012 on any log/schedule divergence."""
+
+import numpy as np
+import pytest
+
+from repro import schedule
+from repro.core import CostModel
+from repro.diagnostics import VER012, Severity
+from repro.grid import Mesh2D
+from repro.mem import CapacityPlan
+from repro.obs import ACTION_NAMES, Instrumentation
+from repro.verify import check_provenance_log, interpret_schedule
+from repro.verify.provenance import MAX_PROVENANCE_DIAGNOSTICS
+from repro.workloads import benchmark as make_benchmark
+
+TOPO = Mesh2D(2, 4)
+
+
+@pytest.fixture()
+def solved():
+    workload = make_benchmark(1, 8, TOPO, seed=1998)
+    tensor = workload.reference_tensor()
+    model = CostModel(workload.topology)
+    capacity = CapacityPlan.paper_rule(tensor.n_data, TOPO.n_procs)
+    instr = Instrumentation.started(provenance=True)
+    sched = schedule(
+        tensor, model, capacity=capacity, instrument=instr
+    )
+    return sched, tensor, model, instr.provenance.logs[0]
+
+
+def test_clean_log_audits_clean(solved):
+    sched, tensor, model, log = solved
+    assert check_provenance_log(log, sched, tensor, model) == []
+
+
+def test_clean_log_accepts_precomputed_prediction(solved):
+    sched, tensor, model, log = solved
+    prediction, _ = interpret_schedule(sched, tensor, model)
+    diags = check_provenance_log(
+        log, sched, tensor, model, prediction=prediction
+    )
+    assert diags == []
+
+
+def test_corrupted_centers_fire_ver012(solved):
+    sched, tensor, model, log = solved
+    log.centers = log.centers.copy()
+    log.centers[0, 0] = (log.centers[0, 0] + 1) % log.n_procs
+    diags = check_provenance_log(log, sched, tensor, model)
+    assert diags, "a hand-corrupted decision log must not audit clean"
+    assert {d.code for d in diags} == {VER012}
+    assert all(d.severity is Severity.ERROR for d in diags)
+    first = diags[0]
+    assert first.datum == 0 and first.window == 0
+
+
+def test_corrupted_attribution_fires_ver012(solved):
+    sched, tensor, model, log = solved
+    log.ref_costs = log.ref_costs.copy()
+    log.ref_costs[0, 0] += 0.5  # any non-zero drift breaks bit-identity
+    diags = check_provenance_log(log, sched, tensor, model)
+    assert any(
+        "bit-identically" in d.message for d in diags
+    ), [d.message for d in diags]
+    assert {d.code for d in diags} == {VER012}
+
+
+def test_corrupted_actions_fire_ver012(solved):
+    sched, tensor, model, log = solved
+    log.actions = log.actions.copy()
+    hold = ACTION_NAMES.index("hold")
+    log.actions[0, 0] = hold  # window 0 can never be a hold
+    diags = check_provenance_log(log, sched, tensor, model)
+    assert any(d.window == 0 and "placement" in d.message for d in diags)
+
+
+def test_shape_mismatch_short_circuits(solved):
+    sched, tensor, model, log = solved
+    log.centers = log.centers[:, :-1]
+    diags = check_provenance_log(log, sched, tensor, model)
+    assert len(diags) == 1
+    assert "shape" in diags[0].message
+
+
+def test_corruption_flood_is_capped(solved):
+    sched, tensor, model, log = solved
+    log.centers = (log.centers + 1) % log.n_procs  # every cell wrong
+    diags = check_provenance_log(log, sched, tensor, model)
+    assert 0 < len(diags) <= MAX_PROVENANCE_DIAGNOSTICS
+
+
+def test_live_range_divergence_reported_via_prediction(solved):
+    sched, tensor, model, log = solved
+    prediction, _ = interpret_schedule(sched, tensor, model)
+    prediction.live_ranges[0] = [(0, 0, log.n_windows - 1)]
+    if log.live_ranges()[0] == prediction.live_ranges[0]:
+        prediction.live_ranges[0] = [(1, 0, log.n_windows - 1)]
+    diags = check_provenance_log(
+        log, sched, tensor, model, prediction=prediction
+    )
+    assert any("abstract interpreter" in d.message for d in diags)
